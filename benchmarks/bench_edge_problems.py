@@ -1,0 +1,44 @@
+"""Extension bench — edge problems via line graphs (Open Question 5)."""
+
+from benchmarks.conftest import emit
+from repro.graphs import cycle, gnp
+from repro.olocal.edge_problems import (
+    edge_coloring,
+    line_graph,
+    maximal_matching,
+)
+from repro.util.tables import format_table
+
+
+def test_bench_line_graph_construction(benchmark):
+    graph = gnp(64, 0.15, seed=17)
+    benchmark(line_graph, graph)
+
+
+def test_bench_maximal_matching_baseline(benchmark):
+    graph = gnp(24, 0.2, seed=18)
+    benchmark(maximal_matching, graph, "baseline")
+
+
+def test_edge_problem_table():
+    rows = []
+    for name, graph in [
+        ("cycle-16", cycle(16)),
+        ("gnp-20", gnp(20, 0.2, seed=19)),
+    ]:
+        mm = maximal_matching(graph, method="baseline")
+        ec = edge_coloring(graph, method="baseline")
+        rows.append(
+            (name, graph.num_edges, sum(mm.outputs.values()),
+             mm.awake_complexity, max(ec.outputs.values()),
+             2 * graph.max_degree - 1, ec.awake_complexity)
+        )
+    print()
+    print(format_table(
+        ["graph", "|E|", "matching size", "awake (MM)",
+         "colors", "2Δ-1", "awake (EC)"],
+        rows,
+        title="Extension — edge problems on L(G) (Open Question 5)",
+    ))
+    for row in rows:
+        assert row[4] <= row[5]  # palette within 2Δ-1

@@ -1,0 +1,64 @@
+"""Substrate bench — raw simulator throughput and time-skipping behavior.
+
+Not a paper artifact; documents the substrate's capacity so users can size
+their experiments (the simulator is the laptop stand-in for the testbed).
+"""
+
+from benchmarks.conftest import emit
+from repro.graphs import gnp, random_regular
+from repro.model import AwakeAt, Broadcast, SleepingSimulator
+from repro.util.tables import format_table
+
+
+def chatter_program(rounds):
+    def program(info):
+        for r in range(1, rounds + 1):
+            yield AwakeAt(r, Broadcast(r))
+        return None
+
+    return program
+
+
+def test_bench_dense_chatter(benchmark):
+    """All nodes awake 20 rounds, broadcasting every round (worst case for
+    the scheduler: no skipping, full delivery)."""
+    graph = random_regular(128, 8, seed=21)
+    sim = SleepingSimulator(graph, chatter_program(20))
+    benchmark(sim.run)
+
+
+def test_bench_sparse_wakeups(benchmark):
+    """Each node awake 3 times across a 10^9-round horizon: exercises the
+    time-skipping heap."""
+    graph = gnp(256, 0.05, seed=22)
+
+    def program(info):
+        yield AwakeAt(info.id * 1000)
+        yield AwakeAt(10**6 + info.id)
+        yield AwakeAt(10**9 - info.id)
+        return None
+
+    sim = SleepingSimulator(graph, program)
+    result = benchmark(sim.run)
+    assert result.round_complexity > 10**8
+
+
+def test_throughput_table():
+    import time
+
+    rows = []
+    for n, degree, rounds in [(64, 6, 20), (256, 6, 20), (1024, 6, 10)]:
+        graph = random_regular(n, degree, seed=n)
+        start = time.perf_counter()
+        res = SleepingSimulator(graph, chatter_program(rounds)).run()
+        elapsed = time.perf_counter() - start
+        events = res.metrics.total_awake
+        rows.append(
+            (n, rounds, events, res.metrics.messages_sent,
+             f"{events / elapsed:,.0f}")
+        )
+    print()
+    print(format_table(
+        ["n", "rounds", "awake events", "messages", "events/sec"],
+        rows, title="Substrate — simulator throughput",
+    ))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Scenario: cluster-head election in an ad-hoc mesh.
+
+In wireless ad-hoc deployments a maximal independent set is the standard
+cluster-head election: heads are never adjacent (no interference between
+coordinators) and every device hears a head (coverage). The complementary
+minimal vertex cover is the relay backbone.
+
+The script elects heads with the paper's Theorem 1 pipeline on three mesh
+shapes, verifies coverage/independence, and reports the election's energy
+(awake) cost against the BM21 baseline.
+
+Run: python examples/adhoc_clusterheads_mis.py
+"""
+
+from repro import (
+    MaximalIndependentSet,
+    MinimalVertexCover,
+    solve,
+    solve_with_baseline,
+)
+from repro.graphs import caterpillar, preferential_attachment, random_regular
+
+
+def main() -> None:
+    meshes = [
+        ("uniform mesh (4-regular)", random_regular(40, 4, seed=3)),
+        ("hub-heavy mesh (power-law)", preferential_attachment(40, 3, seed=5)),
+        ("corridor deployment (caterpillar)", caterpillar(10, 3)),
+    ]
+    mis = MaximalIndependentSet()
+    cover = MinimalVertexCover()
+
+    for name, graph in meshes:
+        heads_result = solve(graph, mis)
+        baseline = solve_with_baseline(graph, mis)
+        heads = {v for v, flag in heads_result.outputs.items() if flag}
+
+        # every device is a head or adjacent to one (validated by solve(),
+        # re-derived here for the narrative)
+        covered = all(
+            v in heads or any(u in heads for u in graph.neighbors(v))
+            for v in graph.nodes
+        )
+        relays = solve(graph, cover).outputs
+        relay_count = sum(1 for flag in relays.values() if flag)
+
+        print(f"=== {name}: n={graph.n}, Δ={graph.max_degree} ===")
+        print(f"  heads elected : {len(heads)} (coverage: {covered})")
+        print(f"  relay backbone: {relay_count} devices "
+              f"(= n - heads: {graph.n - len(heads)})")
+        print(f"  election cost : awake={heads_result.awake_complexity} "
+              f"(baseline {baseline.awake_complexity}); "
+              f"avg awake={heads_result.simulation.metrics.average_awake:.1f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

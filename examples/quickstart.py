@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: solve O-LOCAL problems in the Sleeping model.
+
+Builds a small random network, runs the paper's Theorem 1 algorithm for
+(Δ+1)-coloring and MIS, and prints the energy accounting (awake rounds)
+next to the BM21 baseline.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import (
+    DeltaPlusOneColoring,
+    MaximalIndependentSet,
+    gnp,
+    solve,
+    solve_with_baseline,
+)
+
+
+def main() -> None:
+    graph = gnp(32, 0.15, seed=42)
+    print(f"network: n={graph.n}, edges={graph.num_edges}, "
+          f"max degree Δ={graph.max_degree}")
+
+    for problem in (DeltaPlusOneColoring(), MaximalIndependentSet()):
+        print(f"\n=== {problem.name} ===")
+        result = solve(graph, problem)  # Theorem 1
+        baseline = solve_with_baseline(graph, problem)  # BM21
+
+        if problem.name == "delta_plus_one_coloring":
+            palette = sorted(set(result.outputs.values()))
+            print(f"colors used: {len(palette)} (palette {palette})")
+        else:
+            members = sorted(v for v, in_set in result.outputs.items() if in_set)
+            print(f"MIS size: {len(members)} -> {members}")
+
+        print(f"Theorem 1 : awake={result.awake_complexity:>4}, "
+              f"rounds={result.round_complexity:>9,}, "
+              f"avg awake={result.simulation.metrics.average_awake:.1f}")
+        print(f"BM21      : awake={baseline.awake_complexity:>4}, "
+              f"rounds={baseline.round_complexity:>9,}")
+        print(f"clustering: {result.clustering.num_colors()} colors "
+              f"(bound {result.palette_bound})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Scenario: TDMA slot assignment in a battery-powered sensor field.
+
+A field of sensors (a perturbed grid — typical deployment) must agree on
+interference-free transmission slots: adjacent sensors need different
+slots, i.e. a (Δ+1)-coloring. Every round a radio is powered on costs
+energy, so the *awake complexity* is the battery cost of the agreement
+phase — exactly the measure the paper optimizes.
+
+The script compares three ways to run the agreement:
+
+1. the BM21 baseline (awake O(log Δ + log* n));
+2. the paper's Theorem 1 pipeline (awake O(sqrt(log n)·log* n));
+3. a naive always-awake LOCAL sweep (awake = rounds), as the "no sleeping"
+   strawman.
+
+Run: python examples/sensor_network_coloring.py
+"""
+
+import random
+
+import networkx as nx
+
+from repro import DeltaPlusOneColoring, StaticGraph, solve, solve_with_baseline
+from repro.model.lockstep import greedy_by_id_local
+
+
+def sensor_field(side: int, extra_links: int, seed: int) -> StaticGraph:
+    """A side×side grid with a few long-range links (relay antennas)."""
+    rng = random.Random(seed)
+    g = nx.grid_2d_graph(side, side)
+    nodes = list(g.nodes())
+    for _ in range(extra_links):
+        u, v = rng.sample(nodes, 2)
+        g.add_edge(u, v)
+    return StaticGraph.from_networkx(g)
+
+
+def main() -> None:
+    graph = sensor_field(side=6, extra_links=5, seed=7)
+    problem = DeltaPlusOneColoring()
+    print(f"sensor field: n={graph.n}, links={graph.num_edges}, "
+          f"Δ={graph.max_degree}")
+
+    naive = greedy_by_id_local(graph, problem)
+    problem.check(graph, naive.outputs)
+    baseline = solve_with_baseline(graph, problem)
+    paper = solve(graph, problem)
+
+    print("\nslot agreement energy (max radio-on rounds per sensor):")
+    rows = [
+        ("always-awake greedy sweep", naive.awake_complexity,
+         naive.round_complexity),
+        ("BM21 baseline", baseline.awake_complexity,
+         baseline.round_complexity),
+        ("Theorem 1 (this paper)", paper.awake_complexity,
+         paper.round_complexity),
+    ]
+    for name, awake, rounds in rows:
+        print(f"  {name:<28} awake={awake:>5}  rounds={rounds:>9,}")
+
+    slots = len(set(paper.outputs.values()))
+    print(f"\nassigned {slots} TDMA slots "
+          f"(≤ Δ+1 = {graph.max_degree + 1}); schedule is interference-free")
+    print("\nreading the numbers: sleeping algorithms trade wall-clock "
+          "rounds for battery.")
+    print("At this toy scale the baseline's constants win; the paper's "
+          "algorithm overtakes it")
+    print("asymptotically once Δ ≫ 2^√log n — its awake cost is flat in Δ "
+          "(see bench E9).")
+
+
+if __name__ == "__main__":
+    main()

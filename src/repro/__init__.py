@@ -1,0 +1,76 @@
+"""repro — a reproduction of *"Solving Sequential Greedy Problems
+Distributedly with Sub-Logarithmic Energy Cost"* (Balliu, Fraigniaud,
+Olivetti, Rabie; PODC 2025).
+
+The package provides:
+
+- a faithful **Sleeping-LOCAL simulator** (:mod:`repro.model`) with exact
+  awake/round accounting and time-skipping over globally-asleep intervals;
+- the **O-LOCAL problem class** (:mod:`repro.olocal`) with (Δ+1)-coloring,
+  MIS, (deg+1)-list-coloring and minimal vertex cover;
+- the paper's **algorithms** (:mod:`repro.core`): Lemma 6 casts, Linial's
+  color reduction, the BM21 baseline (Lemma 11), virtual-graph execution
+  (Lemma 7), clustering phases (Lemmas 14 & 15), the full pipeline
+  (Theorem 13), the clustered solver (Theorem 9) and the headline
+  :func:`solve` (Theorem 1);
+- an **experiment harness** (:mod:`repro.analysis`) regenerating every
+  figure and validating every stated bound.
+
+Quickstart::
+
+    from repro import solve, MaximalIndependentSet, gnp
+
+    graph = gnp(64, 0.1, seed=1)
+    result = solve(graph, MaximalIndependentSet())
+    print(result.awake_complexity, result.round_complexity)
+"""
+
+from repro.core.bm21 import solve_with_baseline
+from repro.core.clustering import (
+    ColoredBFSClustering,
+    UniquelyLabeledBFSClustering,
+)
+from repro.core.mapping import ColorScheduleMapping
+from repro.core.theorem1 import Theorem1Result, solve
+from repro.core.theorem9 import solve_with_clustering
+from repro.core.theorem13 import compute_clustering, theorem13_reference
+from repro.graphs import StaticGraph, gnp, path, random_regular
+from repro.model import AwakeAt, Broadcast, SleepingSimulator
+from repro.olocal import (
+    PROBLEMS,
+    DegreePlusOneListColoring,
+    DeltaPlusOneColoring,
+    MaximalIndependentSet,
+    MinimalVertexCover,
+    OLocalProblem,
+    sequential_greedy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AwakeAt",
+    "Broadcast",
+    "ColorScheduleMapping",
+    "ColoredBFSClustering",
+    "DegreePlusOneListColoring",
+    "DeltaPlusOneColoring",
+    "MaximalIndependentSet",
+    "MinimalVertexCover",
+    "OLocalProblem",
+    "PROBLEMS",
+    "SleepingSimulator",
+    "StaticGraph",
+    "Theorem1Result",
+    "UniquelyLabeledBFSClustering",
+    "__version__",
+    "compute_clustering",
+    "gnp",
+    "path",
+    "random_regular",
+    "sequential_greedy",
+    "solve",
+    "solve_with_baseline",
+    "solve_with_clustering",
+    "theorem13_reference",
+]

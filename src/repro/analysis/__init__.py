@@ -1,0 +1,21 @@
+"""Experiment harness: closed-form bounds, experiment runners, reporting."""
+
+from repro.analysis.bounds import (
+    baseline_awake_bound,
+    lemma6_awake_bound,
+    lemma11_awake_bound,
+    theorem1_awake_bound,
+    theorem9_awake_bound,
+    theorem13_awake_bound,
+    theorem13_color_bound,
+)
+
+__all__ = [
+    "baseline_awake_bound",
+    "lemma6_awake_bound",
+    "lemma11_awake_bound",
+    "theorem1_awake_bound",
+    "theorem9_awake_bound",
+    "theorem13_awake_bound",
+    "theorem13_color_bound",
+]

@@ -1,0 +1,225 @@
+"""Command-line interface: run the paper's algorithms from a shell.
+
+Examples::
+
+    python -m repro solve --family gnp --n 48 --problem mis
+    python -m repro solve --family complete --n 16 --algorithm baseline \
+        --problem coloring --trace
+    python -m repro cluster --family grid --n 36 --b 4
+    python -m repro report --only E1 E5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.graphs import (
+    StaticGraph,
+    complete_graph,
+    cycle,
+    gnp,
+    grid,
+    hypercube,
+    path,
+    preferential_attachment,
+    random_regular,
+    random_tree,
+    star,
+)
+from repro.olocal import PROBLEMS
+from repro.util.idspace import identity_ids, permuted_ids, polynomial_ids
+from repro.util.mathx import ceil_sqrt
+
+PROBLEM_ALIASES = {
+    "coloring": "delta_plus_one_coloring",
+    "mis": "maximal_independent_set",
+    "list-coloring": "degree_plus_one_list_coloring",
+    "vertex-cover": "minimal_vertex_cover",
+}
+
+
+def build_graph(args: argparse.Namespace) -> StaticGraph:
+    """Instantiate the requested graph family with the requested ID scheme."""
+    n, seed = args.n, args.seed
+    ids = None
+    if args.ids == "permuted":
+        ids = permuted_ids(n, seed=seed)
+    elif args.ids.startswith("poly"):
+        exponent = int(args.ids[4:] or 2)
+        ids = polynomial_ids(n, exponent=exponent, seed=seed)
+
+    families: dict[str, Callable[[], StaticGraph]] = {
+        "path": lambda: path(n, ids),
+        "cycle": lambda: cycle(n, ids),
+        "star": lambda: star(n, ids),
+        "complete": lambda: complete_graph(n, ids),
+        "grid": lambda: grid(ceil_sqrt(n), ceil_sqrt(n), None),
+        "hypercube": lambda: hypercube(max(1, n.bit_length() - 1), None),
+        "tree": lambda: random_tree(n, seed=seed, ids=ids),
+        "gnp": lambda: gnp(n, args.p, seed=seed, ids=ids),
+        "regular": lambda: random_regular(
+            n if (n * args.degree) % 2 == 0 else n + 1, args.degree,
+            seed=seed, ids=None,
+        ),
+        "powerlaw": lambda: preferential_attachment(
+            n, max(2, n // 16), seed=seed, ids=ids
+        ),
+    }
+    if args.family not in families:
+        raise SystemExit(
+            f"unknown family {args.family!r}; choose from "
+            f"{sorted(families)}"
+        )
+    return families[args.family]()
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    """``repro solve``: run Theorem 1 or the baseline on a generated graph."""
+    graph = build_graph(args)
+    problem_name = PROBLEM_ALIASES.get(args.problem, args.problem)
+    if problem_name not in PROBLEMS:
+        raise SystemExit(
+            f"unknown problem {args.problem!r}; choose from "
+            f"{sorted(PROBLEM_ALIASES)} or {sorted(PROBLEMS)}"
+        )
+    problem = PROBLEMS[problem_name]
+    print(f"graph: {args.family} n={graph.n} edges={graph.num_edges} "
+          f"Δ={graph.max_degree} id_space={graph.id_space}")
+
+    if args.algorithm == "theorem1":
+        from repro.core.theorem1 import solve
+
+        result = solve(graph, problem, b=args.b)
+        metrics = result.simulation.metrics
+        print(f"theorem1: awake={result.awake_complexity} "
+              f"avg={metrics.average_awake:.1f} "
+              f"rounds={result.round_complexity:,} "
+              f"messages={metrics.messages_sent:,}")
+        print(f"clustering: {result.clustering.num_colors()} colors "
+              f"(bound {result.palette_bound})")
+    else:
+        from repro.core.bm21 import solve_with_baseline
+
+        result = solve_with_baseline(graph, problem)
+        metrics = result.simulation.metrics
+        print(f"baseline: awake={result.awake_complexity} "
+              f"avg={metrics.average_awake:.1f} "
+              f"rounds={result.round_complexity:,}")
+
+    if args.show_outputs:
+        for v in sorted(result.outputs):
+            print(f"  {v}: {result.outputs[v]}")
+    if args.trace:
+        _print_trace(graph, problem, args)
+    return 0
+
+
+def _print_trace(graph, problem, args) -> None:
+    from repro.core.theorem1 import theorem1_program
+    from repro.core.bm21 import baseline_program
+    from repro.model.trace import traced_simulation
+
+    if args.algorithm == "theorem1":
+        program = theorem1_program(problem, args.b)
+    else:
+        program = baseline_program(problem, max(graph.max_degree, 1))
+    _, trace = traced_simulation(graph, program, inputs=problem.make_inputs(graph))
+    sample = sorted(graph.nodes)[: args.trace_nodes]
+    print()
+    print(trace.render_timeline(nodes=sample))
+    print()
+    print(trace.render_energy_summary())
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster``: compute and summarize the Theorem 13 clustering."""
+    from collections import Counter
+
+    from repro.core.theorem13 import compute_clustering
+
+    graph = build_graph(args)
+    result = compute_clustering(graph, b=args.b)
+    metrics = result.simulation.metrics
+    print(f"graph: {args.family} n={graph.n} Δ={graph.max_degree}")
+    print(f"b={result.b} colors={result.clustering.num_colors()} "
+          f"(bound {result.palette_bound})")
+    print(f"awake={result.awake_complexity} "
+          f"avg={metrics.average_awake:.1f} "
+          f"rounds={result.round_complexity:,}")
+    sizes = Counter(
+        len(c.members) for c in result.clustering.clusters(graph)
+    )
+    print(f"cluster sizes: {dict(sorted(sizes.items()))}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: regenerate EXPERIMENTS.md."""
+    from repro.analysis.report import main as report_main
+
+    argv = ["--output", args.output]
+    if args.only:
+        argv += ["--only", *args.only]
+    return report_main(argv)
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p):
+        p.add_argument("--family", default="gnp")
+        p.add_argument("--n", type=int, default=32)
+        p.add_argument("--p", type=float, default=0.15)
+        p.add_argument("--degree", type=int, default=4)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--ids", default="identity",
+            help="identity | permuted | polyK (IDs from [n^K])",
+        )
+        p.add_argument("--b", type=int, default=None,
+                       help="override b = 2^sqrt(log n)")
+
+    solve_p = sub.add_parser("solve", help="run an O-LOCAL solver")
+    add_graph_args(solve_p)
+    solve_p.add_argument("--problem", default="mis")
+    solve_p.add_argument(
+        "--algorithm", choices=("theorem1", "baseline"), default="theorem1"
+    )
+    solve_p.add_argument("--show-outputs", action="store_true")
+    solve_p.add_argument("--trace", action="store_true",
+                         help="print awake timelines")
+    solve_p.add_argument("--trace-nodes", type=int, default=12)
+    solve_p.set_defaults(func=cmd_solve)
+
+    cluster_p = sub.add_parser(
+        "cluster", help="compute the Theorem 13 clustering"
+    )
+    add_graph_args(cluster_p)
+    cluster_p.set_defaults(func=cmd_cluster)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md"
+    )
+    report_p.add_argument("--output", default="EXPERIMENTS.md")
+    report_p.add_argument("--only", nargs="*", default=None)
+    report_p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The paper's contribution: clustering constructions and O-LOCAL solvers
+in the Sleeping LOCAL model.
+
+Public entry points:
+
+- :func:`repro.core.theorem1.solve` — Theorem 1: solve any O-LOCAL problem
+  with awake complexity O(sqrt(log n) * log* n).
+- :func:`repro.core.theorem13.compute_clustering` — Theorem 13: colored
+  BFS-clustering with 2^{O(sqrt(log n))} colors.
+- :func:`repro.core.bm21.solve_with_baseline` — the BM21 baseline with awake
+  complexity O(log Δ + log* n).
+"""
+
+from repro.core.clustering import (
+    ColoredBFSClustering,
+    UniquelyLabeledBFSClustering,
+)
+from repro.core.mapping import ColorScheduleMapping
+
+__all__ = [
+    "ColoredBFSClustering",
+    "ColorScheduleMapping",
+    "UniquelyLabeledBFSClustering",
+]

@@ -1,0 +1,241 @@
+"""Lemma 6 — energy-efficient broadcast and convergecast on rooted trees.
+
+Given a rooted spanning structure where every node knows its parent and a
+label strictly increasing away from the root, both primitives run with
+**awake complexity 3** (general labels) or **2** (BFS labels, where the
+parent's label is implied), in O(label bound) rounds.
+
+All protocols here are *driver-agnostic generators*: they yield
+:class:`AwakeAt` actions and receive inboxes, so the same code runs on the
+concrete simulator and, via :mod:`repro.core.virtual`, on cluster-level
+virtual graphs (this is how Lemma 7 reuses Lemma 6 verbatim).
+
+Window discipline: every protocol takes the first round ``t0`` of its
+reserved window and never wakes at or after ``t0 + duration(...)``; callers
+compose protocols by adding durations (Lemma 8).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import ProtocolError
+from repro.model.actions import AwakeAt
+from repro.types import NodeId, Payload
+
+Proto = Generator[AwakeAt, dict[NodeId, Payload], Any]
+
+
+# ---------------------------------------------------------------------------
+# General labeled version (Lemma 6 verbatim): awake complexity 3.
+# ---------------------------------------------------------------------------
+
+
+def labeled_cast_duration(label_bound: int) -> int:
+    """Window length of the labeled broadcast/convergecast: N + 2 rounds."""
+    return label_bound + 2
+
+
+def broadcast_labeled(
+    me: NodeId,
+    peers: Iterable[NodeId],
+    parent: NodeId | None,
+    label: int,
+    label_bound: int,
+    t0: int,
+    payload: Payload,
+) -> Proto:
+    """Broadcast from the root down a tree with monotone labels.
+
+    Every node learns the payload held by the root (the root passes its
+    own). ``label`` must satisfy ``label(v) > label(parent(v))`` and lie in
+    ``[0, label_bound]``. Awake rounds per node: at most 3.
+
+    Round schedule (offsets within the window):
+      - 0: all nodes awake; exchange labels so v learns L(p(v));
+      - 1 + L(p(v)): v receives the payload (its parent sends then);
+      - 1 + L(v): v forwards the payload to all peers.
+    """
+    peers = tuple(peers)
+    _check_label(label, label_bound)
+    inbox = yield AwakeAt(t0, {u: ("label", label) for u in peers})
+    if parent is None:
+        value = payload
+    else:
+        parent_label = _expect_label(inbox, parent, me)
+        if parent_label >= label:
+            raise ProtocolError(
+                f"node {me}: parent label {parent_label} >= own label {label}"
+            )
+        receive_round = t0 + 1 + parent_label
+        inbox = yield AwakeAt(receive_round)
+        if parent not in inbox:
+            raise ProtocolError(
+                f"node {me}: no broadcast payload from parent {parent} at "
+                f"round {receive_round}"
+            )
+        value = inbox[parent]
+    yield AwakeAt(t0 + 1 + label, {u: value for u in peers})
+    return value
+
+
+def convergecast_labeled(
+    me: NodeId,
+    peers: Iterable[NodeId],
+    parent: NodeId | None,
+    label: int,
+    label_bound: int,
+    t0: int,
+    payload: Payload,
+    merge: Callable[[Payload, Payload], Payload],
+) -> Proto:
+    """Convergecast to the root of a tree with monotone labels.
+
+    The root returns the merge (an associative fold) of all payloads in its
+    tree; other nodes return ``None``. Uses the reversed labels
+    ``L'(v) = label_bound - L(v)``. Awake rounds per node: at most 3.
+    """
+    peers = tuple(peers)
+    _check_label(label, label_bound)
+    reversed_label = label_bound - label
+    inbox = yield AwakeAt(t0, {u: ("label", label) for u in peers})
+    parent_reversed = None
+    if parent is not None:
+        parent_label = _expect_label(inbox, parent, me)
+        if parent_label >= label:
+            raise ProtocolError(
+                f"node {me}: parent label {parent_label} >= own label {label}"
+            )
+        parent_reversed = label_bound - parent_label
+
+    # Receive the folds of all child subtrees.
+    inbox = yield AwakeAt(t0 + 1 + reversed_label)
+    value = payload
+    for sender in sorted(inbox):
+        value = merge(value, inbox[sender])
+
+    if parent is None:
+        return value
+    yield AwakeAt(t0 + 1 + parent_reversed, {parent: value})
+    return None
+
+
+# ---------------------------------------------------------------------------
+# BFS version: labels are BFS distances, parent label = own - 1 is implied,
+# saving the discovery round. Awake complexity 2.
+# ---------------------------------------------------------------------------
+
+
+def bfs_cast_duration(depth_bound: int) -> int:
+    """Window length of BFS broadcast/convergecast: depth_bound + 1."""
+    return depth_bound + 1
+
+
+def broadcast_bfs(
+    me: NodeId,
+    peers: Iterable[NodeId],
+    parent: NodeId | None,
+    depth: int,
+    depth_bound: int,
+    t0: int,
+    payload: Payload,
+) -> Proto:
+    """Root-to-leaves broadcast along a BFS tree (δ labels).
+
+    v receives at offset δ(v) - 1 (its parent sends then) and forwards at
+    offset δ(v). Awake rounds: 2 (root: 1).
+    """
+    peers = tuple(peers)
+    _check_label(depth, depth_bound)
+    if parent is None:
+        if depth != 0:
+            raise ProtocolError(f"node {me}: no parent but depth {depth}")
+        value = payload
+    else:
+        inbox = yield AwakeAt(t0 + depth - 1)
+        if parent not in inbox:
+            raise ProtocolError(
+                f"node {me}: no broadcast payload from parent {parent} at "
+                f"offset {depth - 1}"
+            )
+        value = inbox[parent]
+    yield AwakeAt(t0 + depth, {u: value for u in peers})
+    return value
+
+
+def convergecast_bfs(
+    me: NodeId,
+    peers: Iterable[NodeId],
+    parent: NodeId | None,
+    depth: int,
+    depth_bound: int,
+    t0: int,
+    payload: Payload,
+    merge: Callable[[Payload, Payload], Payload],
+) -> Proto:
+    """Leaves-to-root convergecast along a BFS tree (δ labels).
+
+    v receives child folds at offset depth_bound - δ(v) - 1 and sends its
+    own fold at offset depth_bound - δ(v). The root returns the full fold;
+    other nodes return ``None``. Awake rounds: 2 (root: 1).
+    """
+    _check_label(depth, depth_bound)
+    receive_offset = depth_bound - depth - 1
+    value = payload
+    if receive_offset >= 0:
+        inbox = yield AwakeAt(t0 + receive_offset)
+        for sender in sorted(inbox):
+            value = merge(value, inbox[sender])
+    if parent is None:
+        return value
+    yield AwakeAt(t0 + depth_bound - depth, {parent: value})
+    return None
+
+
+def gather_duration(depth_bound: int) -> int:
+    """Window length of :func:`gather_bfs`."""
+    return 2 * bfs_cast_duration(depth_bound)
+
+
+def gather_bfs(
+    me: NodeId,
+    peers: Iterable[NodeId],
+    parent: NodeId | None,
+    depth: int,
+    depth_bound: int,
+    t0: int,
+    payload: Payload,
+    merge: Callable[[Payload, Payload], Payload],
+) -> Proto:
+    """Convergecast then broadcast: *every* node learns the tree-wide fold.
+
+    The workhorse of Lemma 7's cluster simulation: 4 awake rounds
+    (root: 2)."""
+    peers = tuple(peers)
+    folded = yield from convergecast_bfs(
+        me, peers, parent, depth, depth_bound, t0, payload, merge
+    )
+    t1 = t0 + bfs_cast_duration(depth_bound)
+    result = yield from broadcast_bfs(
+        me, peers, parent, depth, depth_bound, t1, folded
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+
+
+def _check_label(label: int, bound: int) -> None:
+    if not 0 <= label <= bound:
+        raise ProtocolError(f"label {label} outside [0, {bound}]")
+
+
+def _expect_label(
+    inbox: dict[NodeId, Payload], parent: NodeId, me: NodeId
+) -> int:
+    if parent not in inbox:
+        raise ProtocolError(f"node {me}: parent {parent} silent in label round")
+    tag, value = inbox[parent]
+    if tag != "label":
+        raise ProtocolError(f"node {me}: expected label message, got {tag!r}")
+    return value

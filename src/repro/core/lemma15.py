@@ -1,0 +1,510 @@
+"""Lemma 15 — one phase of the clustering construction.
+
+Given a parameter b, the protocol partitions any n-node graph into
+
+- **singleton clusters** colored from a palette of ``a·b²`` colors
+  (a = 16, fixed by Linial's fixed point on degree-b graphs), and
+- at most **n/b residual clusters**, each a uniquely-labeled BFS cluster
+  whose label is its root's ID shifted above the singleton palette.
+
+Pipeline (Figure 4):
+
+1. distance-2 coloring c0 (Linial on G²; zero rounds when the ID space is
+   already within the O(n⁴) fixed point — the §5 Remark);
+2. low-degree shift: c1 = c0 + k for nodes of degree ≤ b;
+3. two all-awake rounds to learn c1 on N(v) and N²(v);
+4. local computation of parent pointers p1 (toward the 2-hop color
+   minimum), shifts b(v), colors c2 and pointers p2 (Claim 16 makes the
+   p2-forest F2 monotone in c2 and a subgraph of G);
+5. per-tree convergecast + broadcast with labels c2 (Lemma 6) to learn the
+   tree: members, root, root degree;
+6. a second convergecast + broadcast collecting the *induced* intra-cluster
+   edges, so every member computes true BFS distances from the root
+   (Definition 2 requires induced distances, not tree distances);
+7. clusters whose root has degree ≤ b dissolve into U; one round announces
+   U membership, then Linial's distance-1 reduction on G[U] (degree ≤ b)
+   yields the singleton colors in [1, a·b²].
+
+Awake complexity O(log* n); round complexity O(k) where k is the
+distance-2 palette (O(n⁴) in general, O(n^s) for IDs from [n^s]).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Mapping
+
+from repro.core.cast import (
+    broadcast_labeled,
+    convergecast_labeled,
+    labeled_cast_duration,
+)
+from repro.core.linial import (
+    final_palette,
+    fixed_point_palette,
+    linial_coloring,
+    linial_duration,
+)
+from repro.errors import ProtocolError
+from repro.graphs.graph import StaticGraph
+from repro.model.actions import AwakeAt
+from repro.types import NodeId, Payload
+
+Proto = Generator[AwakeAt, dict[NodeId, Payload], Any]
+
+#: The constant ``a`` of Lemma 15. Linial's reduction with conflict degree
+#: b halts on a palette k iff no (d, q) with q > b·d, q^{d+1} >= k and
+#: q² < k exists; any such "stuck" palette satisfies k <= 4·(3b+1)² <= 64 b²
+#: (take the smallest d with ceil_root(k, d+1) <= b·d + 1 and apply
+#: Bertrand's postulate), which fixes a = 64.
+A_CONSTANT = 64
+
+from functools import lru_cache  # noqa: E402  (kept near its single user)
+
+from repro.core.linial import _ceil_root  # noqa: E402
+from repro.util.mathx import next_prime  # noqa: E402
+
+
+def _has_progress(k: int, b: int) -> bool:
+    """True iff some Linial step shrinks palette k at conflict degree b."""
+    for d in range(1, max(1, k.bit_length()) + 1):
+        q = next_prime(max(b * d + 1, _ceil_root(k, d + 1)))
+        if q * q < k:
+            return True
+    return False
+
+
+@lru_cache(maxsize=None)
+def singleton_palette(b: int) -> int:
+    """The exact number of colors reserved for singleton clusters: the
+    largest palette on which Linial's reduction with conflict degree b can
+    halt. Guaranteed <= A_CONSTANT · b²; computed exactly so that the color
+    range is as tight as the construction allows for every ID space.
+
+    Empirically this equals next_prime(2b+1)², but the scan (bounded by
+    the proven 4(3b+1)² limit) keeps the value correct unconditionally.
+    """
+    limit = 4 * (3 * b + 1) ** 2
+    for k in range(limit, 0, -1):
+        if not _has_progress(k, b):
+            return k
+    raise AssertionError("unreachable: palette 1 is always terminal")
+
+
+@dataclass(frozen=True)
+class Lemma15Output:
+    """Per-node result of one Lemma 15 phase.
+
+    ``singleton`` nodes carry γ = gamma ∈ [1, a·b²] and δ = 0. Residual
+    nodes carry γ = label = root ID + a·b² (unique) and δ = the induced
+    BFS distance to the root.
+    """
+
+    singleton: bool
+    gamma: int
+    delta: int
+    root: NodeId
+    root_degree: int
+    members: tuple[NodeId, ...]
+
+    @property
+    def label(self) -> int:
+        """The residual cluster's unique label (= gamma for non-singletons)."""
+        if self.singleton:
+            raise ProtocolError("singleton clusters have colors, not labels")
+        return self.gamma
+
+
+# ---------------------------------------------------------------------------
+# Deterministic timing (common knowledge from n, id_space, b).
+# ---------------------------------------------------------------------------
+
+
+def distance2_conflict_degree(n: int) -> int:
+    """Bound on |N(v) ∪ N²(v)|: Δ² <= n² (the nodes only know n)."""
+    return max(1, n * n)
+
+
+def distance2_palette(n: int, id_space: int) -> int:
+    """Palette of the distance-2 coloring c0 — ``k`` in the paper.
+
+    Equals ``id_space`` when the IDs already fit (zero Linial rounds, the
+    §5 Remark), otherwise the O(n⁴) fixed point.
+    """
+    return final_palette(id_space, distance2_conflict_degree(n))
+
+
+def c2_bound(n: int, id_space: int) -> int:
+    """Upper bound on the tree labels c2 = 2·c1 + shift with c1 in [1, 2k]
+    (c1 is 1-indexed so that the root sentinel c2 = 0 is never collided)."""
+    return 4 * distance2_palette(n, id_space) + 1
+
+
+def lemma15_duration(n: int, id_space: int, b: int) -> int:
+    """Reserved window length of one Lemma 15 phase."""
+    d2 = linial_duration(id_space, distance2_conflict_degree(n), distance=2)
+    casts = 4 * labeled_cast_duration(c2_bound(n, id_space))
+    membership = 1
+    coloring_u = linial_duration(id_space, b)
+    return d2 + 2 + casts + membership + coloring_u
+
+
+# ---------------------------------------------------------------------------
+# The distributed protocol (level-agnostic: runs on G or on a virtual H).
+# ---------------------------------------------------------------------------
+
+
+def lemma15_protocol(
+    me: NodeId,
+    peers: Iterable[NodeId],
+    n: int,
+    id_space: int,
+    b: int,
+    t0: int,
+) -> Proto:
+    """One phase of Lemma 15; returns :class:`Lemma15Output` for ``me``."""
+    peers = tuple(peers)
+    if b < 1:
+        raise ProtocolError(f"b must be >= 1, got {b}")
+    degree = len(peers)
+    d2_degree = distance2_conflict_degree(n)
+    k = distance2_palette(n, id_space)
+    label_bound = c2_bound(n, id_space)
+
+    # -- step 1: distance-2 coloring ---------------------------------------
+    c0 = yield from linial_coloring(
+        me, peers, color=me - 1, palette=id_space,
+        conflict_degree=d2_degree, t0=t0, distance=2,
+    )
+    clock = t0 + linial_duration(id_space, d2_degree, distance=2)
+
+    # -- step 2: low-degree shift (1-indexed: c1 in [1, 2k]) ----------------
+    c1 = (c0 + 1) + k if degree <= b else (c0 + 1)
+
+    # -- step 3: learn c1 on N(v) and N²(v) ---------------------------------
+    inbox = yield AwakeAt(clock, {u: ("c1", c1) for u in peers})
+    nbr_c1 = {u: msg[1] for u, msg in inbox.items() if msg[0] == "c1"}
+    inbox = yield AwakeAt(clock + 1, {u: ("nbrs", nbr_c1) for u in peers})
+    nbr_maps = {u: msg[1] for u, msg in inbox.items() if msg[0] == "nbrs"}
+    clock += 2
+    two_hop_c1: dict[NodeId, int] = {}
+    for u, colormap in sorted(nbr_maps.items()):
+        for w, cw in colormap.items():
+            if w != me and w not in nbr_c1:
+                two_hop_c1[w] = cw
+
+    # -- step 4: parents p1/p2, shift, color c2 -----------------------------
+    p1, shift = _select_p1(me, c1, nbr_c1, two_hop_c1)
+    if p1 is None:
+        c2, p2 = 0, None
+    else:
+        parent_c1 = nbr_c1.get(p1, two_hop_c1.get(p1))
+        c2 = 2 * parent_c1 + shift
+        if shift == 0:
+            p2 = p1
+        else:
+            # any common neighbor of me and p1 (deterministic: smallest ID)
+            candidates = [u for u in peers if p1 in nbr_maps.get(u, {})]
+            if not candidates:
+                raise ProtocolError(
+                    f"node {me}: 2-hop parent {p1} shares no common neighbor"
+                )
+            p2 = min(candidates)
+    if c2 > label_bound:
+        raise ProtocolError(f"node {me}: c2 = {c2} exceeds bound {label_bound}")
+
+    # -- step 5: learn the whole F2 tree ------------------------------------
+    record = {me: (p2, degree)}
+    cast_len = labeled_cast_duration(label_bound)
+    folded = yield from convergecast_labeled(
+        me, peers, p2, c2, label_bound, clock, record, _merge_dicts
+    )
+    tree = yield from broadcast_labeled(
+        me, peers, p2, c2, label_bound, clock + cast_len, folded
+    )
+    clock += 2 * cast_len
+    members = frozenset(tree)
+    roots = [v for v, (parent, _) in tree.items() if parent is None]
+    if len(roots) != 1:
+        raise ProtocolError(
+            f"node {me}: tree has {len(roots)} roots; F2 is not a forest"
+        )
+    root = roots[0]
+    root_degree = tree[root][1]
+
+    # -- step 6: induced BFS distances --------------------------------------
+    my_edges = {me: tuple(u for u in peers if u in members)}
+    folded = yield from convergecast_labeled(
+        me, peers, p2, c2, label_bound, clock, my_edges, _merge_dicts
+    )
+    all_edges = yield from broadcast_labeled(
+        me, peers, p2, c2, label_bound, clock + cast_len, folded
+    )
+    clock += 2 * cast_len
+    delta_aux = _bfs_over(all_edges, root)
+    if set(delta_aux) != set(members):
+        raise ProtocolError(
+            f"node {me}: cluster of root {root} is not connected in G"
+        )
+
+    # -- step 7: dissolve low-degree-rooted clusters into singletons --------
+    ab2 = singleton_palette(b)
+    if root_degree > b:
+        # Residual cluster: unique label = root ID shifted above [1, a·b²].
+        return Lemma15Output(
+            singleton=False,
+            gamma=root + ab2,
+            delta=delta_aux[me],
+            root=root,
+            root_degree=root_degree,
+            members=tuple(sorted(members)),
+        )
+
+    if degree > b:
+        raise ProtocolError(
+            f"node {me}: in a low-degree-rooted cluster but deg = {degree} "
+            f"> b = {b} — contradicts Lemma 15"
+        )
+    inbox = yield AwakeAt(clock, {u: ("inU", None) for u in peers})
+    u_peers = tuple(sorted(u for u, msg in inbox.items() if msg[0] == "inU"))
+    clock += 1
+    if len(u_peers) > b:
+        raise ProtocolError(
+            f"node {me}: {len(u_peers)} U-neighbors > b = {b}"
+        )
+    color = yield from linial_coloring(
+        me, u_peers, color=me - 1, palette=id_space,
+        conflict_degree=b, t0=clock,
+    )
+    gamma = color + 1
+    if not 1 <= gamma <= ab2:
+        raise ProtocolError(
+            f"node {me}: singleton color {gamma} outside [1, {ab2}]"
+        )
+    return Lemma15Output(
+        singleton=True,
+        gamma=gamma,
+        delta=0,
+        root=root,
+        root_degree=root_degree,
+        members=tuple(sorted(members)),
+    )
+
+
+def _select_p1(
+    me: NodeId,
+    c1: int,
+    nbr_c1: Mapping[NodeId, int],
+    two_hop_c1: Mapping[NodeId, int],
+) -> tuple[NodeId | None, int | None]:
+    """The three-case parent rule of Lemma 15 (colors are unique on the
+    2-ball because c1 is a distance-2 coloring; ties broken by ID anyway)."""
+    ball = list(nbr_c1.values()) + list(two_hop_c1.values())
+    if all(c > c1 for c in ball):
+        return None, None
+    if any(c < c1 for c in nbr_c1.values()):
+        parent = min(nbr_c1, key=lambda u: (nbr_c1[u], u))
+        return parent, 0
+    parent = min(two_hop_c1, key=lambda u: (two_hop_c1[u], u))
+    return parent, 1
+
+
+def _merge_dicts(a: dict, b: dict) -> dict:
+    merged = dict(a)
+    merged.update(b)
+    return merged
+
+
+def _bfs_over(edges: Mapping[NodeId, tuple[NodeId, ...]], root: NodeId) -> dict[NodeId, int]:
+    dist = {root: 0}
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for u in edges.get(v, ()):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+# ---------------------------------------------------------------------------
+# Centralized reference (oracle for tests; fast path for large-n statistics).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lemma15Reference:
+    """Centralized re-computation of a Lemma 15 phase."""
+
+    outputs: dict[NodeId, Lemma15Output]
+    c1: dict[NodeId, int]
+    c2: dict[NodeId, int]
+    p1: dict[NodeId, NodeId | None]
+    p2: dict[NodeId, NodeId | None]
+    residual_clusters: int
+    palette: int
+
+    def gamma(self) -> dict[NodeId, int]:
+        return {v: out.gamma for v, out in self.outputs.items()}
+
+    def delta(self) -> dict[NodeId, int]:
+        return {v: out.delta for v, out in self.outputs.items()}
+
+
+def lemma15_reference(graph: StaticGraph, b: int) -> Lemma15Reference:
+    """Compute the same phase centrally, with identical tie-breaking.
+
+    Used as the equality oracle for the distributed protocol and to gather
+    large-n statistics (cluster-count decay) without simulation overhead.
+    """
+    n, id_space = graph.n, graph.id_space
+    d2_degree = distance2_conflict_degree(n)
+    k = distance2_palette(n, id_space)
+
+    c0 = _reference_distance2_coloring(graph, d2_degree)
+    c1 = {
+        v: (c0[v] + 1) + k if graph.degree(v) <= b else (c0[v] + 1)
+        for v in graph.nodes
+    }
+
+    p1: dict[NodeId, NodeId | None] = {}
+    shift: dict[NodeId, int | None] = {}
+    for v in graph.nodes:
+        nbr = {u: c1[u] for u in graph.neighbors(v)}
+        two = {u: c1[u] for u in graph.distance_2_neighbors(v)}
+        p1[v], shift[v] = _select_p1(v, c1[v], nbr, two)
+
+    c2: dict[NodeId, int] = {}
+    p2: dict[NodeId, NodeId | None] = {}
+    for v in graph.nodes:
+        if p1[v] is None:
+            c2[v], p2[v] = 0, None
+        else:
+            c2[v] = 2 * c1[p1[v]] + shift[v]
+            if shift[v] == 0:
+                p2[v] = p1[v]
+            else:
+                common = [
+                    u for u in graph.neighbors(v)
+                    if graph.has_edge(u, p1[v])
+                ]
+                p2[v] = min(common)
+
+    # Trees of F2 → clusters.
+    children: dict[NodeId, list[NodeId]] = {v: [] for v in graph.nodes}
+    for v in graph.nodes:
+        if p2[v] is not None:
+            children[p2[v]].append(v)
+    outputs: dict[NodeId, Lemma15Output] = {}
+    ab2 = singleton_palette(b)
+    residual = 0
+    u_nodes: set[NodeId] = set()
+    for root in graph.nodes:
+        if p2[root] is not None:
+            continue
+        members = []
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            members.append(x)
+            stack.extend(children[x])
+        member_set = frozenset(members)
+        if graph.degree(root) <= b:
+            u_nodes |= member_set
+            for v in members:
+                outputs[v] = Lemma15Output(
+                    singleton=True, gamma=-1, delta=0, root=root,
+                    root_degree=graph.degree(root),
+                    members=tuple(sorted(member_set)),
+                )
+            continue
+        residual += 1
+        dist = _induced_bfs_distances(graph, member_set, root)
+        for v in members:
+            outputs[v] = Lemma15Output(
+                singleton=False, gamma=root + ab2, delta=dist[v], root=root,
+                root_degree=graph.degree(root),
+                members=tuple(sorted(member_set)),
+            )
+
+    if u_nodes:
+        u_colors = _reference_u_coloring(graph, u_nodes, b)
+        for v in u_nodes:
+            old = outputs[v]
+            outputs[v] = Lemma15Output(
+                singleton=True, gamma=u_colors[v] + 1, delta=0, root=old.root,
+                root_degree=old.root_degree, members=old.members,
+            )
+
+    return Lemma15Reference(
+        outputs=outputs, c1=c1, c2=c2, p1=p1, p2=p2,
+        residual_clusters=residual, palette=k,
+    )
+
+
+def _reference_distance2_coloring(
+    graph: StaticGraph, conflict_degree: int
+) -> dict[NodeId, int]:
+    """Replays the distributed Linial distance-2 reduction centrally
+    (identical (d, q) schedule and evaluation-point choices)."""
+    from repro.core.linial import _reduce_one, step_parameters
+
+    colors = {v: v - 1 for v in graph.nodes}
+    k = graph.id_space
+    while True:
+        params = step_parameters(k, conflict_degree)
+        if params is None:
+            return colors
+        d, q = params
+        new = {}
+        for v in graph.nodes:
+            conflicts = {
+                colors[u]
+                for u in graph.neighbors(v) + graph.distance_2_neighbors(v)
+            }
+            new[v] = _reduce_one(v, colors[v], conflicts, d, q)
+        colors = new
+        k = q * q
+
+
+def _reference_u_coloring(
+    graph: StaticGraph, u_nodes: set[NodeId], b: int
+) -> dict[NodeId, int]:
+    """Replays Linial's distance-1 reduction on G[U] centrally."""
+    from repro.core.linial import _reduce_one, step_parameters
+
+    colors = {v: v - 1 for v in u_nodes}
+    k = graph.id_space
+    while True:
+        params = step_parameters(k, b)
+        if params is None:
+            return colors
+        d, q = params
+        new = {}
+        for v in sorted(u_nodes):
+            conflicts = {
+                colors[u] for u in graph.neighbors(v) if u in u_nodes
+            }
+            new[v] = _reduce_one(v, colors[v], conflicts, d, q)
+        colors = new
+        k = q * q
+
+
+def _induced_bfs_distances(
+    graph: StaticGraph, members: frozenset[NodeId], root: NodeId
+) -> dict[NodeId, int]:
+    dist = {root: 0}
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u in members and u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    missing = members - set(dist)
+    if missing:
+        raise ProtocolError(
+            f"cluster of root {root} is disconnected: {sorted(missing)[:5]}"
+        )
+    return dist

@@ -1,0 +1,286 @@
+"""Lemma 7 — executing protocols on the virtual graph of a clustering.
+
+Given a uniquely-labeled BFS-clustering (ℓ, δ) of G, any protocol written
+for the generic node API can be executed *by the clusters*: every member of
+a cluster runs a deterministic **replica** of the cluster's virtual-node
+program, and the phase structure guarantees all replicas observe identical
+inboxes, hence stay in lockstep:
+
+- one *exchange* round: all members of clusters that are awake in this
+  virtual round wake up and swap virtual messages across inter-cluster
+  edges (two adjacent awake clusters are co-awake by construction — the
+  phase calendar is global);
+- one *gather* (convergecast + broadcast along the cluster's BFS tree,
+  Lemma 6): the union of everything received from neighboring clusters is
+  assembled at the root and redistributed, so every replica feeds its
+  virtual program the same inbox.
+
+Costs per awake virtual round: ≤ 1 + 4 = 5 awake rounds per member (the
+paper budgets 7) inside a phase of 2n + 3 concrete rounds; a virtual
+protocol with awake complexity α and round complexity ϱ therefore costs
+O(α) awake and O(ϱ·n) rounds — Lemma 7's statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Mapping
+
+from repro.core.cast import gather_bfs, gather_duration
+from repro.errors import ProtocolError
+from repro.model.actions import AwakeAt, Broadcast
+from repro.model.api import NodeInfo
+from repro.types import ClusterLabel, NodeId, Payload
+
+Proto = Generator[AwakeAt, dict[NodeId, Payload], Any]
+
+#: Builds the per-member contribution to the virtual node's input, given
+#: what the setup round revealed about the neighbors:
+#: ``{neighbor: (label, delta, extra)}``.
+ContributionFn = Callable[[Mapping[NodeId, tuple[ClusterLabel, int, Any]]], Any]
+
+#: The virtual program factory: receives the virtual node's view (id = the
+#: cluster label, neighbors = adjacent cluster labels, input = the merged
+#: member contributions ``{member: contribution}``) and yields AwakeAt
+#: actions in *virtual* rounds. It must be deterministic: every member runs
+#: one replica.
+VirtualProgram = Callable[[NodeInfo], Proto]
+
+
+def setup_duration(n: int) -> int:
+    """Setup window: 1 exchange round + 1 gather over the cluster."""
+    return 1 + gather_duration(n)
+
+
+def phase_duration(n: int) -> int:
+    """Each virtual round occupies 1 exchange round + 1 gather."""
+    return 1 + gather_duration(n)
+
+
+def virtual_duration(n: int, virtual_rounds: int) -> int:
+    """Concrete window length to simulate ``virtual_rounds`` rounds."""
+    return setup_duration(n) + virtual_rounds * phase_duration(n)
+
+
+@dataclass(frozen=True)
+class VirtualOutcome:
+    """What every member of a cluster learns when the virtual program ends."""
+
+    label: ClusterLabel
+    output: Any
+    members: tuple[NodeId, ...]
+    virtual_neighbors: tuple[ClusterLabel, ...]
+    parent: NodeId | None
+    contributions: dict[NodeId, Any]
+
+
+def run_on_virtual_graph(
+    me: NodeId,
+    peers: Iterable[NodeId],
+    label: ClusterLabel,
+    delta: int,
+    n: int,
+    t0: int,
+    vprogram: VirtualProgram,
+    label_space: int,
+    max_virtual_rounds: int,
+    contribution_fn: ContributionFn | None = None,
+    setup_extra: Any = None,
+) -> Proto:
+    """Run ``vprogram`` as this node's cluster on the virtual graph.
+
+    Every node of every cluster calls this with its own (label, delta);
+    clusters whose nodes do *not* call it (e.g. terminated nodes) simply
+    do not exist in the virtual graph — their silence in the setup round
+    excludes them.
+
+    Args:
+        me/peers: this node and its graph neighbors.
+        label/delta: the node's pair in the uniquely-labeled BFS-clustering.
+        n: global bound on cluster depth and phase arithmetic (the paper
+            uses the network size n).
+        t0: start of the reserved window.
+        vprogram: deterministic virtual program (replica-executed).
+        label_space: bound on cluster labels, exposed as ``id_space`` of
+            the virtual node (Linial's initial palette on the virtual graph).
+        max_virtual_rounds: round-complexity bound of ``vprogram``; fixes
+            the reserved window length (Lemma 8 composition).
+        contribution_fn: builds this member's share of the virtual input
+            from the setup-round exchange; defaults to ``None`` shares.
+        setup_extra: payload piggy-backed on the setup exchange so that
+            ``contribution_fn`` can see neighbors' extra data.
+
+    Returns:
+        :class:`VirtualOutcome` — in particular ``outcome.output`` is the
+        virtual program's return value, identical across the cluster.
+    """
+    peers = tuple(peers)
+
+    # ---- setup: discover cluster-mates, parent, and adjacent clusters ----
+    inbox = yield AwakeAt(
+        t0, {u: ("vsetup", label, delta, setup_extra) for u in peers}
+    )
+    neighbor_setup: dict[NodeId, tuple[ClusterLabel, int, Any]] = {}
+    for u, msg in sorted(inbox.items()):
+        if isinstance(msg, tuple) and msg and msg[0] == "vsetup":
+            neighbor_setup[u] = (msg[1], msg[2], msg[3])
+
+    intra = {u for u, (lab, _, _) in neighbor_setup.items() if lab == label}
+    foreign_label = {
+        u: lab for u, (lab, _, _) in neighbor_setup.items() if lab != label
+    }
+    if delta == 0:
+        parent = None
+    else:
+        candidates = [
+            u
+            for u in intra
+            if neighbor_setup[u][1] == delta - 1
+        ]
+        if not candidates:
+            raise ProtocolError(
+                f"node {me}: δ={delta} but no cluster-mate at δ={delta - 1}; "
+                f"(ℓ, δ) is not a BFS-clustering"
+            )
+        parent = min(candidates)
+
+    contribution = (
+        contribution_fn(neighbor_setup) if contribution_fn is not None else None
+    )
+    local_view = (
+        {me: contribution},
+        frozenset(foreign_label.values()),
+    )
+    merged = yield from gather_bfs(
+        me,
+        tuple(sorted(intra)),
+        parent,
+        delta,
+        n,
+        t0 + 1,
+        local_view,
+        _merge_setup,
+    )
+    contributions, vneighbors = merged
+    members = tuple(sorted(contributions))
+
+    vinfo = NodeInfo(
+        id=label,
+        n=n,
+        id_space=label_space,
+        neighbors=tuple(sorted(vneighbors)),
+        input=dict(contributions),
+    )
+
+    # ---- drive the replica ----------------------------------------------
+    gen = vprogram(vinfo)
+    base = t0 + setup_duration(n)
+    phase_len = phase_duration(n)
+    try:
+        vaction = next(gen)
+    except StopIteration as stop:
+        return _outcome(stop.value, vinfo, members, parent, contributions)
+
+    while True:
+        _check_virtual_action(label, vaction, max_virtual_rounds)
+        vround = vaction.round
+        phase_start = base + (vround - 1) * phase_len
+
+        outgoing_virtual = _expand_virtual(vaction.messages, vinfo.neighbors)
+        exchange_out = {}
+        for u, lab in foreign_label.items():
+            if lab in outgoing_virtual:
+                exchange_out[u] = ("vmsg", label, outgoing_virtual[lab])
+        inbox = yield AwakeAt(phase_start, exchange_out)
+        collected: dict[ClusterLabel, Payload] = {}
+        for u, msg in sorted(inbox.items()):
+            if not (isinstance(msg, tuple) and msg and msg[0] == "vmsg"):
+                continue
+            _, sender_label, payload = msg
+            _merge_one(collected, sender_label, payload, label)
+
+        vinbox = yield from gather_bfs(
+            me,
+            tuple(sorted(intra)),
+            parent,
+            delta,
+            n,
+            phase_start + 1,
+            collected,
+            lambda a, b: _merge_vmsgs(a, b, label),
+        )
+        try:
+            vaction = gen.send(vinbox)
+        except StopIteration as stop:
+            return _outcome(stop.value, vinfo, members, parent, contributions)
+
+
+def _outcome(value, vinfo, members, parent, contributions) -> VirtualOutcome:
+    return VirtualOutcome(
+        label=vinfo.id,
+        output=value,
+        members=members,
+        virtual_neighbors=vinfo.neighbors,
+        parent=parent,
+        contributions=dict(contributions),
+    )
+
+
+def _check_virtual_action(
+    label: ClusterLabel, action: Any, max_virtual_rounds: int
+) -> None:
+    if not isinstance(action, AwakeAt):
+        raise ProtocolError(
+            f"cluster {label}: virtual program yielded "
+            f"{type(action).__name__}, expected AwakeAt"
+        )
+    if action.round > max_virtual_rounds:
+        raise ProtocolError(
+            f"cluster {label}: virtual round {action.round} exceeds the "
+            f"reserved bound {max_virtual_rounds} (window overrun)"
+        )
+
+
+def _expand_virtual(
+    messages: Mapping[ClusterLabel, Payload] | Broadcast | None,
+    vneighbors: tuple[ClusterLabel, ...],
+) -> dict[ClusterLabel, Payload]:
+    if messages is None:
+        return {}
+    if isinstance(messages, Broadcast):
+        return {lab: messages.payload for lab in vneighbors}
+    unknown = set(messages) - set(vneighbors)
+    if unknown:
+        raise ProtocolError(
+            f"virtual program addressed non-neighbor clusters {sorted(unknown)[:3]}"
+        )
+    return dict(messages)
+
+
+def _merge_setup(a, b):
+    contributions_a, labels_a = a
+    contributions_b, labels_b = b
+    merged = dict(contributions_a)
+    merged.update(contributions_b)
+    return merged, labels_a | labels_b
+
+
+def _merge_one(
+    into: dict[ClusterLabel, Payload],
+    lab: ClusterLabel,
+    payload: Payload,
+    me_label: ClusterLabel,
+) -> None:
+    if lab in into and into[lab] != payload:
+        raise ProtocolError(
+            f"cluster {me_label}: inconsistent replicas of cluster {lab} "
+            f"sent different payloads"
+        )
+    into[lab] = payload
+
+
+def _merge_vmsgs(a, b, me_label):
+    out = dict(a)
+    for lab, payload in b.items():
+        _merge_one(out, lab, payload, me_label)
+    return out

@@ -1,0 +1,38 @@
+"""Graph substrate: immutable adjacency structure, generators, paper figures."""
+
+from repro.graphs.graph import StaticGraph
+from repro.graphs.generators import (
+    barbell,
+    caterpillar,
+    clustered_graph,
+    complete_graph,
+    cycle,
+    gnp,
+    grid,
+    hypercube,
+    path,
+    preferential_attachment,
+    random_regular,
+    random_tree,
+    star,
+)
+from repro.graphs.ops import graph_square, induced_subgraph
+
+__all__ = [
+    "StaticGraph",
+    "barbell",
+    "caterpillar",
+    "clustered_graph",
+    "complete_graph",
+    "cycle",
+    "gnp",
+    "graph_square",
+    "grid",
+    "hypercube",
+    "induced_subgraph",
+    "path",
+    "preferential_attachment",
+    "random_regular",
+    "random_tree",
+    "star",
+]

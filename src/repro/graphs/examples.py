@@ -1,0 +1,144 @@
+"""Concrete instances mirroring the paper's illustrative figures.
+
+The paper's figures are schematic drawings; these builders produce concrete
+graphs with the same structure so that the algorithms' behaviour can be
+regenerated and checked mechanically (experiments E2 and E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import StaticGraph
+from repro.types import ClusterLabel, NodeId
+
+
+@dataclass(frozen=True)
+class TwoLevelInstance:
+    """Input of Lemma 14 in the style of Figure 2.
+
+    Attributes:
+        graph: the base graph G (black in the figure).
+        level1_label: ℓ — cluster label per node of G (orange circles).
+        level1_dist: δ — BFS distance to the cluster root (labels in nodes).
+        level2_label: ℓ' — super-cluster label per *cluster* (blue circles).
+        level2_dist: δ' — BFS distance of each cluster within its
+            super-cluster (labels in the orange squares).
+    """
+
+    graph: StaticGraph
+    level1_label: dict[NodeId, ClusterLabel]
+    level1_dist: dict[NodeId, int]
+    level2_label: dict[ClusterLabel, ClusterLabel]
+    level2_dist: dict[ClusterLabel, int]
+
+
+def figure2_instance() -> TwoLevelInstance:
+    """A 13-node graph with a 5-cluster BFS-clustering whose virtual graph
+    carries a second 2-super-cluster BFS-clustering — the shape of Figure 2.
+    """
+    edges = [
+        # cluster A = {1, 2, 3}, root 1
+        (1, 2), (1, 3),
+        # cluster B = {4, 5}, root 4
+        (4, 5),
+        # cluster C = {6, 7, 8}, root 6 (a depth-2 chain)
+        (6, 7), (7, 8),
+        # cluster D = {9, 10}, root 9
+        (9, 10),
+        # cluster E = {11, 12, 13}, root 11
+        (11, 12), (11, 13),
+        # inter-cluster edges: A-B, B-C, C-D, D-E, A-C
+        (2, 4), (5, 6), (8, 9), (10, 11), (3, 7),
+    ]
+    graph = StaticGraph.from_edges(edges)
+    level1_label = {
+        1: 1, 2: 1, 3: 1,
+        4: 2, 5: 2,
+        6: 3, 7: 3, 8: 3,
+        9: 4, 10: 4,
+        11: 5, 12: 5, 13: 5,
+    }
+    level1_dist = {
+        1: 0, 2: 1, 3: 1,
+        4: 0, 5: 1,
+        6: 0, 7: 1, 8: 2,
+        9: 0, 10: 1,
+        11: 0, 12: 1, 13: 1,
+    }
+    # H has vertices {1..5} and edges {1-2, 2-3, 3-4, 4-5, 1-3}.
+    # Super-cluster X = {1, 2, 3} rooted at cluster 2; Y = {4, 5} rooted at 4.
+    level2_label = {1: 101, 2: 101, 3: 101, 4: 102, 5: 102}
+    level2_dist = {1: 1, 2: 0, 3: 1, 4: 0, 5: 1}
+    return TwoLevelInstance(
+        graph, level1_label, level1_dist, level2_label, level2_dist
+    )
+
+
+@dataclass(frozen=True)
+class Lemma15Instance:
+    """Input of Lemma 15 in the style of Figure 4: a graph, the parameter b,
+    the distance-2 palette bound k, and the shifted coloring c1 (low-degree
+    nodes carry colors in (k, 2k])."""
+
+    graph: StaticGraph
+    b: int
+    k: int
+    c1: dict[NodeId, int]
+
+
+def figure4_instance() -> Lemma15Instance:
+    """A 20-node mixed-degree graph with b = 3 and k = 100.
+
+    High-degree nodes (degree > 3) keep their distance-2 colors in [1, 100];
+    low-degree nodes have 100 added, exactly as in Figure 4(a).
+    """
+    edges = [
+        # hub 1 (degree 6) and hub 2 (degree 5) — the ">b" nodes
+        (1, 3), (1, 4), (1, 5), (1, 6), (1, 7), (1, 2),
+        (2, 8), (2, 9), (2, 10), (2, 11),
+        # a low-degree fringe hanging off the hubs
+        (3, 12), (4, 13), (5, 14), (14, 15),
+        (8, 16), (9, 17), (17, 18),
+        # a long low-degree tail wired so node 20 is a 2-ball color
+        # minimum (its ID undercuts everything within distance 2, and all
+        # high-degree nodes are >= 3 hops away): the tree rooted at 20 has
+        # a degree-<=b root and dissolves into singletons — the grey nodes
+        # of Figure 4(b)
+        (11, 23), (23, 24), (24, 20), (20, 21), (21, 22),
+        (11, 19), (19, 25),
+        # cross links keeping it interesting but degrees <= 3 on the fringe
+        (6, 12), (10, 16),
+    ]
+    graph = StaticGraph.from_edges(edges)
+    k = 100
+    b = 3
+    c1 = _greedy_distance2_coloring(graph)
+    if max(c1.values()) > k:
+        raise AssertionError("figure4 instance needs <= 100 distance-2 colors")
+    shifted = {
+        v: (c1[v] + k if graph.degree(v) <= b else c1[v]) for v in graph.nodes
+    }
+    return Lemma15Instance(graph, b=b, k=k, c1=shifted)
+
+
+def _greedy_distance2_coloring(graph: StaticGraph) -> dict[NodeId, int]:
+    """Centralized greedy distance-2 coloring (for building instances only)."""
+    colors: dict[NodeId, int] = {}
+    for v in graph.nodes:
+        conflicts = set(graph.neighbors(v)) | set(graph.distance_2_neighbors(v))
+        used = {colors[u] for u in conflicts if u in colors}
+        color = 1
+        while color in used:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def distance2_counterexample_path(n: int = 6) -> StaticGraph:
+    """The n-node path witnessing that distance-2 coloring is *not* in
+    O-LOCAL (§2.2). Node IDs are 1..n in path order; the adversarial acyclic
+    orientation directs every two incident edges oppositely."""
+    if n < 6:
+        raise ValueError("the paper's counterexample needs n >= 6")
+    return StaticGraph.from_edges((i, i + 1) for i in range(1, n))

@@ -1,0 +1,171 @@
+"""Graph family generators used by tests, examples and benchmarks.
+
+All generators return connected :class:`StaticGraph` instances and accept an
+optional :class:`IdAssignment`; by default nodes get identity IDs ``1..n``.
+Randomized families take an explicit ``seed`` so every experiment is
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graphs.graph import StaticGraph
+from repro.util.idspace import IdAssignment
+
+
+def path(n: int, ids: IdAssignment | None = None) -> StaticGraph:
+    """The n-node path P_n."""
+    _require(n >= 1, f"path needs n >= 1, got {n}")
+    return StaticGraph.from_networkx(nx.path_graph(n), ids)
+
+
+def cycle(n: int, ids: IdAssignment | None = None) -> StaticGraph:
+    """The n-node cycle C_n (n >= 3)."""
+    _require(n >= 3, f"cycle needs n >= 3, got {n}")
+    return StaticGraph.from_networkx(nx.cycle_graph(n), ids)
+
+
+def complete_graph(n: int, ids: IdAssignment | None = None) -> StaticGraph:
+    """K_n — the maximum-degree extreme (Δ = n-1)."""
+    _require(n >= 1, f"complete_graph needs n >= 1, got {n}")
+    return StaticGraph.from_networkx(nx.complete_graph(n), ids)
+
+
+def star(n: int, ids: IdAssignment | None = None) -> StaticGraph:
+    """Star with one hub and n-1 leaves."""
+    _require(n >= 2, f"star needs n >= 2, got {n}")
+    return StaticGraph.from_networkx(nx.star_graph(n - 1), ids)
+
+
+def grid(rows: int, cols: int, ids: IdAssignment | None = None) -> StaticGraph:
+    """rows × cols grid — a bounded-degree planar family."""
+    _require(rows >= 1 and cols >= 1, "grid needs positive dimensions")
+    return StaticGraph.from_networkx(nx.grid_2d_graph(rows, cols), ids)
+
+
+def hypercube(dim: int, ids: IdAssignment | None = None) -> StaticGraph:
+    """The dim-dimensional hypercube (n = 2^dim, Δ = dim = log n)."""
+    _require(dim >= 1, f"hypercube needs dim >= 1, got {dim}")
+    return StaticGraph.from_networkx(nx.hypercube_graph(dim), ids)
+
+
+def random_tree(n: int, seed: int = 0, ids: IdAssignment | None = None) -> StaticGraph:
+    """Uniform random labeled tree on n nodes (via a random Prüfer sequence)."""
+    _require(n >= 1, f"random_tree needs n >= 1, got {n}")
+    if n <= 2:
+        return path(n, ids)
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    tree = nx.from_prufer_sequence(prufer)
+    return StaticGraph.from_networkx(tree, ids)
+
+
+def caterpillar(
+    spine: int, legs_per_node: int, ids: IdAssignment | None = None
+) -> StaticGraph:
+    """A caterpillar: a spine path with ``legs_per_node`` pendant leaves per
+    spine node. Tunable degree with tiny treewidth."""
+    _require(spine >= 1 and legs_per_node >= 0, "invalid caterpillar shape")
+    g = nx.path_graph(spine)
+    next_node = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(s, next_node)
+            next_node += 1
+    return StaticGraph.from_networkx(g, ids)
+
+
+def barbell(clique: int, bridge: int, ids: IdAssignment | None = None) -> StaticGraph:
+    """Two cliques of size ``clique`` joined by a path of ``bridge`` nodes —
+    mixes Δ = clique-1 hubs with a long low-degree corridor."""
+    _require(clique >= 3, f"barbell needs clique >= 3, got {clique}")
+    return StaticGraph.from_networkx(nx.barbell_graph(clique, bridge), ids)
+
+
+def gnp(
+    n: int, p: float, seed: int = 0, ids: IdAssignment | None = None
+) -> StaticGraph:
+    """Erdős–Rényi G(n, p), patched to be connected by linking components
+    along a deterministic spanning chain."""
+    _require(n >= 1 and 0.0 <= p <= 1.0, "invalid gnp parameters")
+    g = nx.gnp_random_graph(n, p, seed=seed)
+    _connect(g, seed)
+    return StaticGraph.from_networkx(g, ids)
+
+
+def random_regular(
+    n: int, degree: int, seed: int = 0, ids: IdAssignment | None = None
+) -> StaticGraph:
+    """Random d-regular graph (n·d even, d < n), connected-patched."""
+    _require(degree < n and (n * degree) % 2 == 0, "invalid regular parameters")
+    g = nx.random_regular_graph(degree, n, seed=seed)
+    _connect(g, seed)
+    return StaticGraph.from_networkx(g, ids)
+
+
+def preferential_attachment(
+    n: int, m: int, seed: int = 0, ids: IdAssignment | None = None
+) -> StaticGraph:
+    """Barabási–Albert graph: power-law degrees, Δ grows polynomially in n —
+    the regime where the paper beats the BM21 baseline."""
+    _require(1 <= m < n, f"need 1 <= m < n, got m={m}, n={n}")
+    g = nx.barabasi_albert_graph(n, m, seed=seed)
+    _connect(g, seed)
+    return StaticGraph.from_networkx(g, ids)
+
+
+def clustered_graph(
+    num_clusters: int,
+    cluster_size: int,
+    inter_edges: int = 1,
+    seed: int = 0,
+    ids: IdAssignment | None = None,
+) -> StaticGraph:
+    """Dense blobs sparsely interconnected — a natural fit for BFS-clustering
+    experiments (the decomposition should roughly recover the blobs)."""
+    _require(num_clusters >= 1 and cluster_size >= 1, "invalid cluster shape")
+    rng = random.Random(seed)
+    g = nx.Graph()
+    blocks: list[list[int]] = []
+    node = 0
+    for _ in range(num_clusters):
+        members = list(range(node, node + cluster_size))
+        node += cluster_size
+        blocks.append(members)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if rng.random() < 0.7:
+                    g.add_edge(u, v)
+        g.add_nodes_from(members)
+        _connect_within(g, members, rng)
+    for i in range(1, num_clusters):
+        for _ in range(inter_edges):
+            u = rng.choice(blocks[i - 1])
+            v = rng.choice(blocks[i])
+            g.add_edge(u, v)
+    return StaticGraph.from_networkx(g, ids)
+
+
+def _connect(g: nx.Graph, seed: int) -> None:
+    """Join connected components with single edges, deterministically."""
+    components = [sorted(c) for c in nx.connected_components(g)]
+    components.sort(key=lambda c: c[0])
+    for prev, cur in zip(components, components[1:]):
+        g.add_edge(prev[0], cur[0])
+
+
+def _connect_within(g: nx.Graph, members: list[int], rng: random.Random) -> None:
+    sub = g.subgraph(members)
+    components = [sorted(c) for c in nx.connected_components(sub)]
+    components.sort(key=lambda c: c[0])
+    for prev, cur in zip(components, components[1:]):
+        g.add_edge(prev[0], cur[0])
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GraphError(message)

@@ -1,0 +1,197 @@
+"""An immutable, ID-addressed graph used by the simulator and algorithms.
+
+Nodes are addressed *by their LOCAL-model identifier*, not by position:
+every algorithm in the paper manipulates IDs, so making the ID the node
+key removes an entire class of off-by-one translation bugs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.types import NodeId
+from repro.util.idspace import IdAssignment, identity_ids
+
+
+@dataclass(frozen=True)
+class StaticGraph:
+    """A simple undirected graph with unique integer node IDs.
+
+    Attributes:
+        adjacency: mapping from node ID to a sorted tuple of neighbor IDs.
+        id_space: upper bound of the ID range ``[1, id_space]`` that the
+            IDs were drawn from; algorithms use it as the initial palette.
+    """
+
+    adjacency: Mapping[NodeId, tuple[NodeId, ...]]
+    id_space: int
+    _degrees: dict[NodeId, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for v, nbrs in self.adjacency.items():
+            if v in nbrs:
+                raise GraphError(f"self-loop at node {v}")
+            for u in nbrs:
+                if u not in self.adjacency:
+                    raise GraphError(f"edge ({v}, {u}) dangles: {u} missing")
+                if v not in self.adjacency[u]:
+                    raise GraphError(f"edge ({v}, {u}) is not symmetric")
+        if self.adjacency:
+            lo, hi = min(self.adjacency), max(self.adjacency)
+            if lo < 1 or hi > self.id_space:
+                raise GraphError(
+                    f"node IDs must lie in [1, {self.id_space}], "
+                    f"got range [{lo}, {hi}]"
+                )
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def from_edges(
+        edges: Iterable[tuple[NodeId, NodeId]],
+        nodes: Iterable[NodeId] = (),
+        id_space: int | None = None,
+    ) -> "StaticGraph":
+        """Build a graph from an edge list (plus optional isolated nodes)."""
+        adj: dict[NodeId, set[NodeId]] = {v: set() for v in nodes}
+        for u, v in edges:
+            if u == v:
+                raise GraphError(f"self-loop at node {u}")
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+        frozen = {v: tuple(sorted(nbrs)) for v, nbrs in adj.items()}
+        space = id_space if id_space is not None else (max(adj) if adj else 1)
+        return StaticGraph(frozen, id_space=space)
+
+    @staticmethod
+    def from_networkx(
+        graph: nx.Graph, ids: IdAssignment | None = None
+    ) -> "StaticGraph":
+        """Relabel a networkx graph with the given ID assignment.
+
+        The networkx nodes are sorted (by ``repr`` when not comparable) and
+        mapped positionally to ``ids``; defaults to identity IDs ``1..n``.
+        """
+        nodes = _stable_sorted(graph.nodes())
+        assignment = ids if ids is not None else identity_ids(len(nodes))
+        if assignment.n != len(nodes):
+            raise GraphError(
+                f"ID assignment has {assignment.n} ids for {len(nodes)} nodes"
+            )
+        relabel = {node: assignment.ids[i] for i, node in enumerate(nodes)}
+        edges = [(relabel[u], relabel[v]) for u, v in graph.edges()]
+        return StaticGraph.from_edges(
+            edges, nodes=relabel.values(), id_space=assignment.space
+        )
+
+    def to_networkx(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(self.adjacency)
+        for v, nbrs in self.adjacency.items():
+            g.add_edges_from((v, u) for u in nbrs if u > v)
+        return g
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        return tuple(sorted(self.adjacency))
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.nodes)
+
+    def __contains__(self, v: NodeId) -> bool:
+        return v in self.adjacency
+
+    def neighbors(self, v: NodeId) -> tuple[NodeId, ...]:
+        return self.adjacency[v]
+
+    def degree(self, v: NodeId) -> int:
+        return len(self.adjacency[v])
+
+    @property
+    def max_degree(self) -> int:
+        if not self.adjacency:
+            return 0
+        return max(len(nbrs) for nbrs in self.adjacency.values())
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self.adjacency.values()) // 2
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        for v, nbrs in sorted(self.adjacency.items()):
+            for u in nbrs:
+                if u > v:
+                    yield (v, u)
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return v in self.adjacency.get(u, ())
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        start = next(iter(self.adjacency))
+        return len(self._component(start)) == self.n
+
+    def connected_components(self) -> list[frozenset[NodeId]]:
+        seen: set[NodeId] = set()
+        components = []
+        for v in self.nodes:
+            if v not in seen:
+                comp = self._component(v)
+                seen |= comp
+                components.append(frozenset(comp))
+        return components
+
+    def _component(self, start: NodeId) -> set[NodeId]:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in self.adjacency[v]:
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+        return seen
+
+    def bfs_distances(self, source: NodeId) -> dict[NodeId, int]:
+        """Distances from ``source`` to every reachable node."""
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            for u in self.adjacency[v]:
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    queue.append(u)
+        return dist
+
+    def distance_2_neighbors(self, v: NodeId) -> tuple[NodeId, ...]:
+        """Nodes at distance exactly 2 from ``v`` (the paper's N²(v))."""
+        direct = set(self.adjacency[v])
+        two_hop: set[NodeId] = set()
+        for u in direct:
+            two_hop.update(self.adjacency[u])
+        two_hop -= direct
+        two_hop.discard(v)
+        return tuple(sorted(two_hop))
+
+
+def _stable_sorted(nodes: Iterable) -> list:
+    nodes = list(nodes)
+    try:
+        return sorted(nodes)
+    except TypeError:
+        return sorted(nodes, key=repr)

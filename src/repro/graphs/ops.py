@@ -1,0 +1,34 @@
+"""Graph operations used by the clustering construction."""
+
+from __future__ import annotations
+
+from repro.graphs.graph import StaticGraph
+from repro.types import NodeId
+
+
+def graph_square(graph: StaticGraph) -> StaticGraph:
+    """The square G²: same nodes, edges between nodes at distance <= 2.
+
+    Lemma 15's first step computes a proper coloring of G², i.e. a
+    distance-2 coloring of G.
+    """
+    adj: dict[NodeId, set[NodeId]] = {v: set() for v in graph.nodes}
+    for v in graph.nodes:
+        direct = graph.neighbors(v)
+        adj[v].update(direct)
+        for u in direct:
+            adj[v].update(w for w in graph.neighbors(u) if w != v)
+    frozen = {v: tuple(sorted(nbrs)) for v, nbrs in adj.items()}
+    return StaticGraph(frozen, id_space=graph.id_space)
+
+
+def induced_subgraph(graph: StaticGraph, nodes: set[NodeId]) -> StaticGraph:
+    """The subgraph of G induced by ``nodes`` (IDs preserved)."""
+    missing = nodes - set(graph.adjacency)
+    if missing:
+        raise KeyError(f"nodes not in graph: {sorted(missing)[:5]}")
+    adj = {
+        v: tuple(u for u in graph.neighbors(v) if u in nodes)
+        for v in sorted(nodes)
+    }
+    return StaticGraph(adj, id_space=graph.id_space)

@@ -1,0 +1,26 @@
+"""The Sleeping LOCAL model substrate.
+
+A node program is a Python generator that yields :class:`AwakeAt` actions
+("sleep until round r, be awake during it, send these messages") and receives
+its inbox — the messages sent *in that same round* by awake neighbors.
+Messages sent to sleeping nodes are lost, exactly as in the model.
+
+The simulator is *time-skipping*: it advances directly to the next round in
+which at least one node is awake, so the paper's O(n^5)-round schedules run
+in time proportional to the total number of awake node-rounds.
+"""
+
+from repro.model.actions import AwakeAt, Broadcast
+from repro.model.api import NodeAPI, NodeInfo
+from repro.model.metrics import SimulationMetrics
+from repro.model.simulator import SimulationResult, SleepingSimulator
+
+__all__ = [
+    "AwakeAt",
+    "Broadcast",
+    "NodeAPI",
+    "NodeInfo",
+    "SimulationMetrics",
+    "SimulationResult",
+    "SleepingSimulator",
+]

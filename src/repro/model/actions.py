@@ -1,0 +1,37 @@
+"""Actions a node program can yield to the Sleeping-model runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from repro.types import NodeId, Payload
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Send the same payload to every neighbor (LOCAL-style broadcast)."""
+
+    payload: Payload
+
+
+#: Either an explicit per-neighbor message map or a broadcast.
+Outgoing = Union[Mapping[NodeId, Payload], Broadcast, None]
+
+
+@dataclass(frozen=True)
+class AwakeAt:
+    """Sleep until ``round`` (exclusive), be awake during it, send
+    ``messages``, and receive the inbox for that round.
+
+    ``round`` must be strictly greater than the node's previous awake round;
+    the runtime enforces this (a node cannot travel back in time, and being
+    awake in consecutive rounds means yielding consecutive ``AwakeAt``).
+    """
+
+    round: int
+    messages: Outgoing = None
+
+    def __post_init__(self) -> None:
+        if self.round < 1:
+            raise ValueError(f"rounds are 1-indexed, got {self.round}")

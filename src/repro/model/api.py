@@ -1,0 +1,38 @@
+"""Static per-node information handed to node programs and protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """Everything a node knows at round 0 in the (Sleeping) LOCAL model.
+
+    Attributes:
+        id: the node's globally unique identifier.
+        n: the number of nodes of the network (known to all nodes, §2.1).
+        id_space: upper bound of the ID range ``[1, id_space]``; the paper's
+            ``n^c``. Used as the initial palette for Linial's algorithm.
+        neighbors: IDs of adjacent nodes. The LOCAL model reveals the ports;
+            since messages carry IDs anyway, we expose neighbor IDs directly.
+        input: optional problem-specific input (e.g. a color list).
+    """
+
+    id: NodeId
+    n: int
+    id_space: int
+    neighbors: tuple[NodeId, ...]
+    input: Any = None
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+
+#: Node programs are written against this same static view; ``NodeAPI`` is an
+#: alias kept for symmetry with the design document.
+NodeAPI = NodeInfo

@@ -1,0 +1,94 @@
+"""Fault injection for robustness testing.
+
+The Sleeping model is fault-free, so these faults model *implementation*
+hazards rather than adversarial networks: dropped messages (e.g. a buggy
+wake calendar making a sender miss its slot) and payload corruption. A
+production-quality protocol should fail **loudly** (raise ProtocolError)
+rather than return silently wrong outputs; the fault-injection tests in
+``tests/test_faults.py`` assert exactly that for every protocol in the
+repo.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.graphs.graph import StaticGraph
+from repro.model.actions import AwakeAt, Broadcast
+from repro.model.simulator import NodeProgram, SleepingSimulator
+from repro.types import NodeId, Payload
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic message-fault policy.
+
+    Attributes:
+        drop_probability: chance an individual message is silently dropped.
+        corrupt_probability: chance a payload is replaced by garbage.
+        seed: RNG seed — fault runs are reproducible.
+        immune_rounds: rounds in which no fault fires (e.g. to let setup
+            complete before stressing a later stage).
+    """
+
+    drop_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    seed: int = 0
+    immune_rounds: frozenset[int] = frozenset()
+
+
+class FaultySimulator(SleepingSimulator):
+    """A simulator whose message delivery is filtered by a FaultPlan."""
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        program: NodeProgram,
+        plan: FaultPlan,
+        inputs: Mapping[NodeId, Any] | None = None,
+    ) -> None:
+        self._plan = plan
+        self._rng = random.Random(plan.seed)
+        self.dropped = 0
+        self.corrupted = 0
+        faulty_program = self._wrap(program)
+        super().__init__(graph, faulty_program, inputs=inputs)
+
+    def _wrap(self, program: NodeProgram) -> NodeProgram:
+        plan = self._plan
+        rng = self._rng
+
+        def wrapped(info):
+            gen = program(info)
+            try:
+                action = next(gen)
+                while True:
+                    action = self._filter(action, info)
+                    inbox = yield action
+                    action = gen.send(inbox)
+            except StopIteration as stop:
+                return stop.value
+
+        return wrapped
+
+    def _filter(self, action: AwakeAt, info) -> AwakeAt:
+        plan, rng = self._plan, self._rng
+        if action.messages is None or action.round in plan.immune_rounds:
+            return action
+        messages = action.messages
+        if isinstance(messages, Broadcast):
+            messages = {u: messages.payload for u in info.neighbors}
+        filtered: dict[NodeId, Payload] = {}
+        for target, payload in messages.items():
+            roll = rng.random()
+            if roll < plan.drop_probability:
+                self.dropped += 1
+                continue
+            if roll < plan.drop_probability + plan.corrupt_probability:
+                self.corrupted += 1
+                filtered[target] = ("corrupted", rng.getrandbits(32))
+                continue
+            filtered[target] = payload
+        return AwakeAt(action.round, filtered)

@@ -1,0 +1,179 @@
+"""The time-skipping Sleeping-LOCAL simulator.
+
+Faithfulness to §2.1 of the paper:
+
+- computation proceeds in synchronous rounds starting at round 1;
+- an awake node sends messages to neighbors and receives, *in the same
+  round*, the messages sent by neighbors that are awake in that round;
+- messages addressed to sleeping nodes are silently lost (enforced here:
+  inboxes are assembled only from co-awake senders);
+- a sleeping node does nothing; nodes choose their own wake-up rounds;
+- all nodes know ``n`` (and the ID-space bound) initially.
+
+The simulator skips rounds in which every node sleeps, keeping the *round
+counter* exact, so executions with round complexity Θ(n^5) complete in time
+proportional to the number of awake node-rounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Mapping
+
+from repro.errors import SimulationError
+from repro.graphs.graph import StaticGraph
+from repro.model.actions import AwakeAt, Broadcast
+from repro.model.api import NodeInfo
+from repro.model.metrics import SimulationMetrics, payload_weight
+from repro.types import NodeId, Payload
+
+#: A node program: takes the node's static info, yields AwakeAt actions,
+#: receives inboxes (dict sender -> payload), returns the node's output.
+NodeProgram = Callable[[NodeInfo], Generator[AwakeAt, dict[NodeId, Payload], Any]]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a completed simulation."""
+
+    outputs: dict[NodeId, Any]
+    metrics: SimulationMetrics
+    graph: StaticGraph
+
+    @property
+    def awake_complexity(self) -> int:
+        return self.metrics.awake_complexity
+
+    @property
+    def round_complexity(self) -> int:
+        return self.metrics.round_complexity
+
+
+class SleepingSimulator:
+    """Runs one node program (factory) per node of a graph to completion."""
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        program: NodeProgram,
+        inputs: Mapping[NodeId, Any] | None = None,
+        max_awake_each: int = 1_000_000,
+        measure_message_sizes: bool = False,
+    ) -> None:
+        self._graph = graph
+        self._program = program
+        self._inputs = dict(inputs) if inputs else {}
+        self._max_awake_each = max_awake_each
+        self._measure_sizes = measure_message_sizes
+
+    def run(self) -> SimulationResult:
+        graph = self._graph
+        metrics = SimulationMetrics()
+        outputs: dict[NodeId, Any] = {}
+        generators: dict[NodeId, Generator] = {}
+        pending: dict[NodeId, AwakeAt] = {}
+        heap: list[tuple[int, NodeId]] = []
+
+        for v in graph.nodes:
+            info = NodeInfo(
+                id=v,
+                n=graph.n,
+                id_space=graph.id_space,
+                neighbors=graph.neighbors(v),
+                input=self._inputs.get(v),
+            )
+            gen = self._program(info)
+            try:
+                action = next(gen)
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                metrics.termination_round[v] = 0
+                metrics.awake_rounds.setdefault(v, 0)
+                continue
+            _check_action(v, action, previous_round=0)
+            generators[v] = gen
+            pending[v] = action
+            heapq.heappush(heap, (action.round, v))
+
+        while heap:
+            current_round = heap[0][0]
+            awake: list[NodeId] = []
+            while heap and heap[0][0] == current_round:
+                _, v = heapq.heappop(heap)
+                awake.append(v)
+            awake.sort()
+            awake_set = set(awake)
+            metrics.active_rounds += 1
+            metrics.last_round = current_round
+
+            # Phase 1: collect outgoing messages of all awake nodes.
+            inboxes: dict[NodeId, dict[NodeId, Payload]] = {v: {} for v in awake}
+            for v in awake:
+                outgoing = _expand_outgoing(v, pending[v].messages, graph)
+                metrics.messages_sent += len(outgoing)
+                for target, payload in outgoing.items():
+                    if self._measure_sizes:
+                        metrics.charge_message_weight(payload_weight(payload))
+                    # Delivery only if the target is awake *this* round.
+                    if target in awake_set:
+                        inboxes[target][v] = payload
+
+            # Phase 2: advance every awake node with its inbox.
+            for v in awake:
+                metrics.charge_awake(v)
+                if metrics.awake_rounds[v] > self._max_awake_each:
+                    raise SimulationError(
+                        f"node {v} exceeded {self._max_awake_each} awake "
+                        f"rounds at round {current_round}; runaway protocol?"
+                    )
+                gen = generators[v]
+                try:
+                    action = gen.send(inboxes[v])
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    metrics.termination_round[v] = current_round
+                    del generators[v]
+                    del pending[v]
+                    continue
+                _check_action(v, action, previous_round=current_round)
+                pending[v] = action
+                heapq.heappush(heap, (action.round, v))
+
+        missing = set(graph.nodes) - set(outputs)
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} nodes never terminated: {sorted(missing)[:5]}"
+            )
+        return SimulationResult(outputs=outputs, metrics=metrics, graph=graph)
+
+
+def _check_action(node: NodeId, action: Any, previous_round: int) -> None:
+    if not isinstance(action, AwakeAt):
+        raise SimulationError(
+            f"node {node} yielded {type(action).__name__}; programs must "
+            f"yield AwakeAt actions"
+        )
+    if action.round <= previous_round:
+        raise SimulationError(
+            f"node {node} requested awake round {action.round} but its "
+            f"previous awake round was {previous_round}; time must advance"
+        )
+
+
+def _expand_outgoing(
+    sender: NodeId,
+    messages: Mapping[NodeId, Payload] | Broadcast | None,
+    graph: StaticGraph,
+) -> dict[NodeId, Payload]:
+    if messages is None:
+        return {}
+    if isinstance(messages, Broadcast):
+        return {u: messages.payload for u in graph.neighbors(sender)}
+    neighbors = set(graph.neighbors(sender))
+    for target in messages:
+        if target not in neighbors:
+            raise SimulationError(
+                f"node {sender} tried to send to non-neighbor {target}"
+            )
+    return dict(messages)

@@ -1,0 +1,122 @@
+"""Execution tracing: per-node awake timelines and energy diagrams.
+
+The Sleeping model's whole point is *when* radios are on; this module
+records the awake rounds of every node during a simulation and renders
+them as compact ASCII timelines — the natural "figure" for a Sleeping-model
+run. Tracing is opt-in (it stores one list per node) and is consumed by
+tests, examples and the EXPERIMENTS.md appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.types import NodeId
+
+
+@dataclass
+class ExecutionTrace:
+    """Awake rounds per node, recorded by :class:`TracingSimulator`."""
+
+    awake_rounds: dict[NodeId, list[int]] = field(default_factory=dict)
+
+    def record(self, node: NodeId, round_number: int) -> None:
+        self.awake_rounds.setdefault(node, []).append(round_number)
+
+    # -- queries -----------------------------------------------------------
+
+    def awake_count(self, node: NodeId) -> int:
+        return len(self.awake_rounds.get(node, ()))
+
+    def last_round(self) -> int:
+        return max(
+            (rounds[-1] for rounds in self.awake_rounds.values() if rounds),
+            default=0,
+        )
+
+    def active_rounds(self) -> list[int]:
+        """Rounds during which at least one node was awake, sorted."""
+        merged: set[int] = set()
+        for rounds in self.awake_rounds.values():
+            merged.update(rounds)
+        return sorted(merged)
+
+    def co_awake(self, u: NodeId, v: NodeId) -> list[int]:
+        """Rounds in which both nodes were awake (communication was
+        possible between them, if adjacent)."""
+        a = set(self.awake_rounds.get(u, ()))
+        b = set(self.awake_rounds.get(v, ()))
+        return sorted(a & b)
+
+    def energy_histogram(self) -> dict[int, int]:
+        """#nodes per awake-count — the energy distribution."""
+        histogram: dict[int, int] = {}
+        for rounds in self.awake_rounds.values():
+            histogram[len(rounds)] = histogram.get(len(rounds), 0) + 1
+        return dict(sorted(histogram.items()))
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_timeline(
+        self,
+        nodes: Iterable[NodeId] | None = None,
+        width: int = 72,
+    ) -> str:
+        """ASCII awake/asleep timeline, one row per node.
+
+        The active rounds (globally non-silent ones) are compressed onto
+        ``width`` columns; ``#`` marks an awake round in the bucket, ``.``
+        sleep. Long silent gaps therefore do not waste columns — matching
+        the time-skipping execution.
+        """
+        chosen = sorted(nodes) if nodes is not None else sorted(self.awake_rounds)
+        active = self.active_rounds()
+        if not active:
+            return "(no awake rounds recorded)"
+        columns = min(width, len(active))
+        bucket_of = {
+            r: min(i * columns // len(active), columns - 1)
+            for i, r in enumerate(active)
+        }
+        label_width = max(len(str(v)) for v in chosen)
+        lines = [
+            f"{'node'.rjust(label_width)} | timeline of {len(active)} active "
+            f"rounds (last: {self.last_round()})"
+        ]
+        for v in chosen:
+            cells = ["."] * columns
+            for r in self.awake_rounds.get(v, ()):
+                cells[bucket_of[r]] = "#"
+            lines.append(f"{str(v).rjust(label_width)} | {''.join(cells)}")
+        return "\n".join(lines)
+
+    def render_energy_summary(self) -> str:
+        histogram = self.energy_histogram()
+        total = sum(histogram.values())
+        lines = ["awake-rounds  #nodes"]
+        for count, nodes in histogram.items():
+            bar = "█" * max(1, round(40 * nodes / total))
+            lines.append(f"{count:>12}  {nodes:>6}  {bar}")
+        return "\n".join(lines)
+
+
+def traced_simulation(graph, program, inputs=None):
+    """Run a simulation with tracing enabled; returns (result, trace)."""
+    from repro.model.simulator import SleepingSimulator
+
+    trace = ExecutionTrace()
+
+    def tracing_program(info):
+        gen = program(info)
+        try:
+            action = next(gen)
+            while True:
+                trace.record(info.id, action.round)
+                inbox = yield action
+                action = gen.send(inbox)
+        except StopIteration as stop:
+            return stop.value
+
+    result = SleepingSimulator(graph, tracing_program, inputs=inputs).run()
+    return result, trace

@@ -1,0 +1,34 @@
+"""The O-LOCAL class of graph problems (§2.2) and concrete members."""
+
+from repro.olocal.problem import (
+    NodeView,
+    OLocalProblem,
+    orientation_from_priority,
+    sequential_greedy,
+)
+from repro.olocal.coloring import DeltaPlusOneColoring
+from repro.olocal.list_coloring import DegreePlusOneListColoring
+from repro.olocal.mis import MaximalIndependentSet
+from repro.olocal.vertex_cover import MinimalVertexCover
+
+PROBLEMS = {
+    problem.name: problem
+    for problem in (
+        DeltaPlusOneColoring(),
+        MaximalIndependentSet(),
+        DegreePlusOneListColoring(),
+        MinimalVertexCover(),
+    )
+}
+
+__all__ = [
+    "DegreePlusOneListColoring",
+    "DeltaPlusOneColoring",
+    "MaximalIndependentSet",
+    "MinimalVertexCover",
+    "NodeView",
+    "OLocalProblem",
+    "PROBLEMS",
+    "orientation_from_priority",
+    "sequential_greedy",
+]

@@ -1,0 +1,69 @@
+"""(deg+1)-list-coloring: each node gets a private list of deg(v)+1 colors.
+
+A strictly more general problem than (Δ+1)-coloring, still in O-LOCAL: at
+decision time at most deg(v) list entries are blocked by decided neighbors,
+so one list color is always free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.graphs.graph import StaticGraph
+from repro.olocal.problem import NodeView, OLocalProblem
+from repro.types import NodeId
+
+
+class DegreePlusOneListColoring(OLocalProblem):
+    """Greedy list coloring from per-node palettes of size deg(v)+1."""
+
+    name = "degree_plus_one_list_coloring"
+    locality = "neighbors"
+
+    def decide(
+        self, node: NodeView, decided_neighbors: Mapping[NodeId, Any]
+    ) -> Any:
+        palette = node.input
+        if palette is None or len(palette) < node.degree + 1:
+            raise ValueError(
+                f"node {node.id} needs a palette of >= deg+1 = "
+                f"{node.degree + 1} colors, got {palette!r}"
+            )
+        used = set(decided_neighbors.values())
+        for color in palette:
+            if color not in used:
+                return color
+        raise AssertionError(
+            "unreachable: a (deg+1)-size list cannot be exhausted by "
+            "<= deg decided neighbors"
+        )
+
+    def default_input(self, graph: StaticGraph, v: NodeId) -> tuple[int, ...]:
+        """A deterministic, node-dependent palette: deg(v)+1 colors spread
+        over a window starting at (v mod 7), exercising heterogeneous lists."""
+        offset = v % 7
+        return tuple(range(offset + 1, offset + graph.degree(v) + 2))
+
+    def validate(
+        self,
+        graph: StaticGraph,
+        outputs: Mapping[NodeId, Any],
+        inputs: Mapping[NodeId, Any] | None = None,
+    ) -> list[str]:
+        violations = []
+        palettes = inputs if inputs is not None else self.make_inputs(graph)
+        for v in graph.nodes:
+            if v not in outputs:
+                violations.append(f"node {v} has no color")
+                continue
+            palette = palettes.get(v)
+            if palette is not None and outputs[v] not in palette:
+                violations.append(
+                    f"node {v} color {outputs[v]!r} not in its list {palette!r}"
+                )
+        for u, v in graph.edges():
+            if u in outputs and v in outputs and outputs[u] == outputs[v]:
+                violations.append(
+                    f"edge ({u}, {v}) is monochromatic (color {outputs[u]!r})"
+                )
+        return violations

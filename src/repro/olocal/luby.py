@@ -1,0 +1,115 @@
+"""Luby's randomized MIS — the classic LOCAL-model comparison point.
+
+The paper's related work contrasts deterministic Sleeping algorithms with
+randomized ones (MIS in O(log log n) awake complexity [DJP23, DFRZ24], vs
+Luby's O(log n) *rounds* in plain LOCAL). We implement Luby's algorithm on
+the Sleeping simulator in always-awake mode: it terminates in O(log n)
+rounds with high probability, and since it never sleeps its awake
+complexity equals its round complexity — the quantitative gap the Sleeping
+model is designed to close.
+
+Per round, every undecided node draws a uniform value; strict local minima
+join the MIS and their neighbors leave. Randomness is seeded per node from
+``(seed, node, round)`` so runs are reproducible and nodes never need
+shared randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.graphs.graph import StaticGraph
+from repro.model.actions import AwakeAt
+from repro.model.simulator import SimulationResult, SleepingSimulator
+from repro.olocal.mis import MaximalIndependentSet
+from repro.types import NodeId
+
+
+def _draw(seed: int, node: NodeId, round_number: int) -> int:
+    """A deterministic 64-bit 'random' value per (seed, node, round)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{node}:{round_number}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class LubyResult:
+    outputs: dict[NodeId, bool]
+    simulation: SimulationResult
+    phases: int
+
+    @property
+    def awake_complexity(self) -> int:
+        return self.simulation.awake_complexity
+
+    @property
+    def round_complexity(self) -> int:
+        return self.simulation.round_complexity
+
+
+def luby_mis(
+    graph: StaticGraph, seed: int = 0, max_phases: int | None = None
+) -> LubyResult:
+    """Run Luby's MIS; validates the result before returning.
+
+    Each phase costs two rounds: (1) exchange draws, local minima join;
+    (2) joiners announce, neighbors retire. All undecided nodes stay awake
+    — awake complexity = 2 × phases = Θ(log n) w.h.p.
+    """
+    limit = max_phases if max_phases is not None else 16 * max(
+        graph.n.bit_length(), 1
+    )
+
+    def program(info):
+        status: bool | None = None
+        undecided = set(info.neighbors)
+        round_number = 0
+        phase = 0
+        while status is None:
+            phase += 1
+            if phase > limit:
+                raise SimulationError(
+                    f"node {info.id}: Luby exceeded {limit} phases"
+                )
+            round_number += 1
+            my_draw = _draw(seed, info.id, phase)
+            inbox = yield AwakeAt(
+                round_number, {u: ("draw", my_draw) for u in undecided}
+            )
+            draws = {
+                u: msg[1] for u, msg in inbox.items() if msg[0] == "draw"
+            }
+            # Ties are broken by ID, so 'strict minimum' is well defined
+            # even if two draws collide.
+            joins = all(
+                (my_draw, info.id) < (draw, u) for u, draw in draws.items()
+            )
+            round_number += 1
+            inbox = yield AwakeAt(
+                round_number,
+                {u: ("joined", joins) for u in undecided},
+            )
+            if joins:
+                return True
+            neighbor_joined = any(
+                msg[0] == "joined" and msg[1] for msg in inbox.values()
+            )
+            if neighbor_joined:
+                return False
+            # drop retired neighbors: they are decided and asleep now
+            undecided = {
+                u for u in undecided
+                if u in draws
+            }
+        return status
+
+    result = SleepingSimulator(graph, program).run()
+    MaximalIndependentSet().check(graph, result.outputs)
+    return LubyResult(
+        outputs=result.outputs,
+        simulation=result,
+        phases=result.round_complexity // 2,
+    )

@@ -1,0 +1,49 @@
+"""Maximal independent set — the paper's second running example."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.graphs.graph import StaticGraph
+from repro.olocal.problem import NodeView, OLocalProblem
+from repro.types import NodeId
+
+
+class MaximalIndependentSet(OLocalProblem):
+    """Greedy MIS: join unless some decided neighbor already joined.
+
+    Output per node: ``True`` (in the set) or ``False``.
+    """
+
+    name = "maximal_independent_set"
+    locality = "neighbors"
+
+    def decide(
+        self, node: NodeView, decided_neighbors: Mapping[NodeId, Any]
+    ) -> bool:
+        return not any(decided_neighbors.values())
+
+    def validate(
+        self,
+        graph: StaticGraph,
+        outputs: Mapping[NodeId, Any],
+        inputs: Mapping[NodeId, Any] | None = None,
+    ) -> list[str]:
+        violations = []
+        for v in graph.nodes:
+            if v not in outputs:
+                violations.append(f"node {v} has no output")
+            elif not isinstance(outputs[v], bool):
+                violations.append(f"node {v} output {outputs[v]!r} not bool")
+        for u, v in graph.edges():
+            if outputs.get(u) and outputs.get(v):
+                violations.append(f"edge ({u}, {v}) has both endpoints in MIS")
+        for v in graph.nodes:
+            if not outputs.get(v) and not any(
+                outputs.get(u) for u in graph.neighbors(v)
+            ):
+                violations.append(
+                    f"node {v} is outside the MIS with no neighbor inside "
+                    f"(not maximal)"
+                )
+        return violations

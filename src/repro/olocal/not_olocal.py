@@ -1,0 +1,90 @@
+"""Distance-2 coloring is *not* in O-LOCAL — the §2.2 counterexample.
+
+On the path P_n (n >= 6) with the acyclic orientation µ that directs every
+two incident edges oppositely, the *sinks* (out-degree-0 nodes) must output
+a color knowing nothing but their own ID. Any sink rule
+``f : {1..n} -> {1..5}`` therefore behaves like a fixed function of the ID;
+by pigeonhole two IDs collide under f, and placing them on two sinks at
+distance 2 breaks the distance-2 coloring. This module makes that argument
+executable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.graphs.graph import StaticGraph
+from repro.types import NodeId
+
+
+def alternating_orientation_sinks(n: int) -> list[int]:
+    """Positions (1-indexed along the path) that are sinks under the
+    alternating orientation: every odd position."""
+    return list(range(1, n + 1, 2))
+
+
+def validate_distance2_coloring(
+    graph: StaticGraph, colors: Mapping[NodeId, int]
+) -> list[str]:
+    """Violations of properness at distance <= 2."""
+    violations = []
+    for v in graph.nodes:
+        conflicts = set(graph.neighbors(v)) | set(graph.distance_2_neighbors(v))
+        for u in conflicts:
+            if u > v and colors.get(u) == colors.get(v):
+                violations.append(
+                    f"nodes {v} and {u} at distance <= 2 share color "
+                    f"{colors.get(v)!r}"
+                )
+    return violations
+
+
+def defeating_id_assignment(
+    f: Callable[[int], int], n: int = 6
+) -> tuple[int, ...] | None:
+    """Given a sink rule ``f`` on IDs {1..n}, return an assignment of the
+    IDs to path positions under which two sinks at distance 2 collide, or
+    ``None`` if ``f`` is injective enough to survive (impossible for n >= 6
+    with a 5-color range — pigeonhole).
+
+    The returned tuple maps path position i (0-indexed) to the node ID
+    placed there; the colliding pair sits at positions 1 and 3 (both sinks
+    of the alternating orientation, at distance 2).
+    """
+    by_color: dict[int, list[int]] = {}
+    for node_id in range(1, n + 1):
+        by_color.setdefault(f(node_id), []).append(node_id)
+    collision = next(
+        (ids for ids in by_color.values() if len(ids) >= 2), None
+    )
+    if collision is None:
+        return None
+    a, b = collision[0], collision[1]
+    rest = [i for i in range(1, n + 1) if i not in (a, b)]
+    # positions: 0 1 2 3 4 ... — sinks at odd 1-indexed = even 0-indexed?
+    # We use 1-indexed positions 1..n; sinks at odd positions. Place the
+    # colliding IDs at positions 1 and 3.
+    assignment = [0] * n
+    assignment[0] = a  # position 1
+    assignment[2] = b  # position 3
+    it = iter(rest)
+    for pos in range(n):
+        if assignment[pos] == 0:
+            assignment[pos] = next(it)
+    return tuple(assignment)
+
+
+def sink_collision(
+    f: Callable[[int], int], assignment: tuple[int, ...]
+) -> tuple[int, int] | None:
+    """Return a pair of 1-indexed sink positions at distance 2 whose IDs
+    collide under ``f``, if any."""
+    n = len(assignment)
+    for pos in range(1, n - 1, 2):  # 1-indexed odd positions 1, 3, ...
+        p1, p2 = pos, pos + 2
+        if p2 > n:
+            break
+        id1, id2 = assignment[p1 - 1], assignment[p2 - 1]
+        if f(id1) == f(id2):
+            return (p1, p2)
+    return None

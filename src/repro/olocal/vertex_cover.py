@@ -1,0 +1,51 @@
+"""Minimal vertex cover via MIS complementation.
+
+The complement of a maximal independent set is a minimal vertex cover, and
+the complementation is a local output relabeling, so the problem inherits
+O-LOCAL membership from MIS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.graphs.graph import StaticGraph
+from repro.olocal.mis import MaximalIndependentSet
+from repro.olocal.problem import NodeView, OLocalProblem
+from repro.types import NodeId
+
+
+class MinimalVertexCover(OLocalProblem):
+    """Greedy minimal vertex cover: v enters the cover iff it does *not*
+    enter the greedy MIS. Output: ``True`` = in the cover."""
+
+    name = "minimal_vertex_cover"
+    locality = "neighbors"
+
+    def __init__(self) -> None:
+        self._mis = MaximalIndependentSet()
+
+    def decide(
+        self, node: NodeView, decided_neighbors: Mapping[NodeId, Any]
+    ) -> bool:
+        # A decided neighbor is in the cover iff it is NOT in the MIS.
+        mis_neighbors = {u: not in_cover for u, in_cover in decided_neighbors.items()}
+        return not self._mis.decide(node, mis_neighbors)
+
+    def validate(
+        self,
+        graph: StaticGraph,
+        outputs: Mapping[NodeId, Any],
+        inputs: Mapping[NodeId, Any] | None = None,
+    ) -> list[str]:
+        violations = []
+        for u, v in graph.edges():
+            if not outputs.get(u) and not outputs.get(v):
+                violations.append(f"edge ({u}, {v}) is uncovered")
+        # Minimality: removing any cover vertex must expose an edge, which
+        # for this construction is equivalent to V \ cover being a maximal
+        # independent set.
+        mis = {v: not outputs.get(v, False) for v in graph.nodes}
+        for msg in self._mis.validate(graph, mis):
+            violations.append(f"complement not a maximal IS: {msg}")
+        return violations

@@ -1,0 +1,25 @@
+"""Shared type aliases used across the repro package."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+#: Node identifiers. The paper assumes unique IDs from a polynomial range, so
+#: concrete node IDs are integers.
+NodeId = int
+
+#: Cluster labels in a uniquely-labeled BFS-clustering (Definition 2) are
+#: arbitrary unique values; in practice we use integers (root IDs).
+ClusterLabel = int
+
+#: Colors of a colored BFS-clustering (Definition 4). Theorem 13 produces
+#: pairs ``(phase, palette_color)`` which we canonicalise to integers, but
+#: validators accept any hashable color.
+Color = Hashable
+
+#: Message payloads are arbitrary Python objects (the LOCAL model allows
+#: unbounded messages).
+Payload = Any
+
+#: Outputs of O-LOCAL problems, keyed by node.
+OutputMap = Mapping[NodeId, Any]

@@ -1,0 +1,25 @@
+"""Utility helpers: integer math, ID spaces, formatting, RNG plumbing."""
+
+from repro.util.mathx import (
+    ceil_div,
+    ceil_log2,
+    ceil_sqrt,
+    int_log2,
+    is_prime,
+    iterated_log,
+    next_pow2,
+    next_prime,
+    sqrt_log_ceil,
+)
+
+__all__ = [
+    "ceil_div",
+    "ceil_log2",
+    "ceil_sqrt",
+    "int_log2",
+    "is_prime",
+    "iterated_log",
+    "next_pow2",
+    "next_prime",
+    "sqrt_log_ceil",
+]

@@ -1,0 +1,71 @@
+"""ID assignment schemes.
+
+The LOCAL model assumes unique node identifiers from a polynomial range
+``{1, ..., n^c}``. The paper's round complexity depends on that range
+(Theorem 13's remark: IDs from ``[n^s]`` give round complexity
+``O(n^{1+s} sqrt(log n))``), so experiments need control over it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class IdAssignment:
+    """A concrete assignment of unique IDs to ``n`` nodes.
+
+    Attributes:
+        ids: ``ids[i]`` is the identifier of the i-th node (0-indexed nodes).
+        space: exclusive upper bound of the ID space; all IDs lie in
+            ``[1, space]``. Algorithms use this as the initial palette bound.
+    """
+
+    ids: tuple[int, ...]
+    space: int
+
+    def __post_init__(self) -> None:
+        if len(set(self.ids)) != len(self.ids):
+            raise ReproError("IDs must be unique")
+        if self.ids and (min(self.ids) < 1 or max(self.ids) > self.space):
+            raise ReproError(
+                f"IDs must lie in [1, {self.space}], got range "
+                f"[{min(self.ids)}, {max(self.ids)}]"
+            )
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+
+def identity_ids(n: int) -> IdAssignment:
+    """IDs ``1..n`` in node order — the tight ID space of the remark in §5."""
+    return IdAssignment(tuple(range(1, n + 1)), space=max(n, 1))
+
+
+def permuted_ids(n: int, seed: int = 0) -> IdAssignment:
+    """A random permutation of ``1..n``."""
+    rng = random.Random(seed)
+    ids = list(range(1, n + 1))
+    rng.shuffle(ids)
+    return IdAssignment(tuple(ids), space=max(n, 1))
+
+
+def polynomial_ids(n: int, exponent: int = 2, seed: int = 0) -> IdAssignment:
+    """Unique IDs sampled from ``[1, n^exponent]`` (the general LOCAL-model
+    assumption; ``exponent`` is the paper's ``c``)."""
+    if exponent < 1:
+        raise ReproError(f"exponent must be >= 1, got {exponent}")
+    space = max(n, 1) ** exponent
+    rng = random.Random(seed)
+    ids = rng.sample(range(1, space + 1), n)
+    return IdAssignment(tuple(ids), space=space)
+
+
+def adversarial_path_ids(n: int) -> IdAssignment:
+    """Decreasing IDs along node order. On a path graph this makes naive
+    'wait for smaller neighbor' schemes take Θ(n) — useful stress input."""
+    return IdAssignment(tuple(range(n, 0, -1)), space=max(n, 1))

@@ -1,0 +1,153 @@
+"""Exact integer mathematics used by the algorithms and their bounds.
+
+All functions operate on Python integers and are exact (no floating point),
+because round schedules must be computed identically by every node.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of ``a / b`` for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ReproError(f"ceil_div requires a positive divisor, got {b}")
+    return -(-a // b)
+
+
+def int_log2(n: int) -> int:
+    """Floor of log2(n) for n >= 1."""
+    if n < 1:
+        raise ReproError(f"int_log2 requires n >= 1, got {n}")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Ceiling of log2(n) for n >= 1 (``ceil_log2(1) == 0``)."""
+    if n < 1:
+        raise ReproError(f"ceil_log2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n, for n >= 1."""
+    if n < 1:
+        raise ReproError(f"next_pow2 requires n >= 1, got {n}")
+    return 1 << ceil_log2(n)
+
+
+def ceil_sqrt(n: int) -> int:
+    """Ceiling of sqrt(n) for n >= 0, computed exactly."""
+    if n < 0:
+        raise ReproError(f"ceil_sqrt requires n >= 0, got {n}")
+    r = math.isqrt(n)
+    return r if r * r == n else r + 1
+
+
+def sqrt_log_ceil(n: int) -> int:
+    """``ceil(sqrt(log2 n))`` for n >= 1, the paper's recurring quantity.
+
+    For n == 1 this is 0. Used for the parameter ``b = 2^{sqrt(log n)}``
+    and the phase count ``k = 2 sqrt(log n)`` of Theorem 13.
+    """
+    if n < 1:
+        raise ReproError(f"sqrt_log_ceil requires n >= 1, got {n}")
+    return ceil_sqrt(ceil_log2(n))
+
+
+def iterated_log(n: int, base: int = 2) -> int:
+    """The iterated logarithm log* of ``n``: the number of times ``log_base``
+    must be applied before the value drops to <= 1.
+
+    ``iterated_log(1) == 0``, ``iterated_log(2) == 1``,
+    ``iterated_log(4) == 2``, ``iterated_log(16) == 3``,
+    ``iterated_log(65536) == 4``.
+    """
+    if n < 1:
+        raise ReproError(f"iterated_log requires n >= 1, got {n}")
+    if base < 2:
+        raise ReproError(f"iterated_log requires base >= 2, got {base}")
+    count = 0
+    value = n
+    while value > 1:
+        value = ceil_log2(value) if base == 2 else _ceil_log(value, base)
+        count += 1
+    return count
+
+
+def _ceil_log(n: int, base: int) -> int:
+    """Ceiling of log_base(n) for n >= 1, exact."""
+    if n <= 1:
+        return 0
+    power, exponent = 1, 0
+    while power < n:
+        power *= base
+        exponent += 1
+    return exponent
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test, exact for all 64-bit
+    integers (and correct with the extended witness set well beyond)."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in small_primes:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n (``next_prime(1) == 2``)."""
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def base_q_digits(value: int, q: int, width: int) -> list[int]:
+    """Little-endian base-``q`` digits of ``value``, padded to ``width``.
+
+    Used to interpret a color as the coefficient vector of a polynomial
+    over the field F_q in Linial's color reduction.
+    """
+    if value < 0:
+        raise ReproError(f"base_q_digits requires value >= 0, got {value}")
+    if q < 2:
+        raise ReproError(f"base_q_digits requires q >= 2, got {q}")
+    digits = []
+    v = value
+    for _ in range(width):
+        digits.append(v % q)
+        v //= q
+    if v != 0:
+        raise ReproError(
+            f"value {value} does not fit in {width} base-{q} digits"
+        )
+    return digits
+
+
+def eval_poly_mod(coeffs: list[int], x: int, q: int) -> int:
+    """Evaluate the polynomial with little-endian ``coeffs`` at ``x`` mod q."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % q
+    return acc

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table (monospace-friendly).
+
+    Numeric cells are right-aligned; everything is stringified with ``str``.
+    """
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    out = []
+    if title:
+        out.append(f"### {title}")
+        out.append("")
+    out.append(line(list(headers)))
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,59 @@
+"""Quality gates on the public API surface: importability, docstrings,
+and __all__ consistency."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # __main__ exits on import by design (it runs the CLI)
+    if name != "repro.__main__"
+]
+
+
+def test_every_module_imports():
+    for name in MODULES:
+        importlib.import_module(name)
+
+
+def test_package_all_resolves():
+    for symbol in repro.__all__:
+        assert hasattr(repro, symbol), f"__all__ lists missing {symbol}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    """Every public function/class defined in the package carries a
+    docstring (doc comments on every public item — deliverable (e))."""
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name}: undocumented public items {undocumented}"
+    )
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

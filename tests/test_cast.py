@@ -1,0 +1,206 @@
+"""Tests for Lemma 6: broadcast/convergecast awake complexity and windows."""
+
+import pytest
+
+from repro.core.cast import (
+    bfs_cast_duration,
+    broadcast_bfs,
+    broadcast_labeled,
+    convergecast_bfs,
+    convergecast_labeled,
+    gather_bfs,
+    gather_duration,
+    labeled_cast_duration,
+)
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs import StaticGraph, caterpillar, path, random_tree, star
+from repro.model import SleepingSimulator
+
+
+def bfs_tree(graph, root):
+    """Centralized BFS tree: (parent, depth) per node, for test harnesses."""
+    depth = graph.bfs_distances(root)
+    parent = {}
+    for v in graph.nodes:
+        if v == root:
+            parent[v] = None
+        else:
+            parent[v] = min(
+                u for u in graph.neighbors(v) if depth[u] == depth[v] - 1
+            )
+    return parent, depth
+
+
+class TestBroadcastBFS:
+    @pytest.mark.parametrize(
+        "factory,root",
+        [
+            (lambda: path(9), 1),
+            (lambda: path(9), 5),
+            (lambda: star(7), 1),
+            (lambda: random_tree(25, seed=4), 3),
+            (lambda: caterpillar(5, 3), 2),
+        ],
+    )
+    def test_everyone_learns_and_awake_at_most_2(self, factory, root):
+        g = factory()
+        parent, depth = bfs_tree(g, root)
+
+        def program(info):
+            value = yield from broadcast_bfs(
+                me=info.id,
+                peers=info.neighbors,
+                parent=parent[info.id],
+                depth=depth[info.id],
+                depth_bound=info.n,
+                t0=1,
+                payload="secret" if info.id == root else None,
+            )
+            return value
+
+        res = SleepingSimulator(g, program).run()
+        assert all(v == "secret" for v in res.outputs.values())
+        assert res.awake_complexity <= 2
+        assert res.round_complexity <= bfs_cast_duration(g.n)
+
+    def test_root_awake_once(self):
+        g = path(6)
+        parent, depth = bfs_tree(g, 1)
+
+        def program(info):
+            value = yield from broadcast_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                g.n, 1, "m" if info.id == 1 else None,
+            )
+            return value
+
+        res = SleepingSimulator(g, program).run()
+        assert res.metrics.awake_rounds[1] == 1
+
+
+class TestConvergecastBFS:
+    def test_root_collects_all(self):
+        g = random_tree(30, seed=9)
+        root = 7
+        parent, depth = bfs_tree(g, root)
+
+        def program(info):
+            merged = yield from convergecast_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                g.n, 1, frozenset([info.id]), lambda a, b: a | b,
+            )
+            return merged
+
+        res = SleepingSimulator(g, program).run()
+        assert res.outputs[root] == frozenset(g.nodes)
+        assert all(
+            res.outputs[v] is None for v in g.nodes if v != root
+        )
+        assert res.awake_complexity <= 2
+
+    def test_gather_everyone_learns_fold(self):
+        g = random_tree(20, seed=2)
+        root = 5
+        parent, depth = bfs_tree(g, root)
+
+        def program(info):
+            merged = yield from gather_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                g.n, 1, frozenset([info.id]), lambda a, b: a | b,
+            )
+            return merged
+
+        res = SleepingSimulator(g, program).run()
+        assert all(out == frozenset(g.nodes) for out in res.outputs.values())
+        assert res.awake_complexity <= 4
+        assert res.round_complexity <= gather_duration(g.n)
+
+
+class TestLabeledCasts:
+    def test_broadcast_with_arbitrary_monotone_labels(self):
+        """Labels need only increase away from the root (Lemma 6 verbatim);
+        here they are scattered, non-consecutive values."""
+        g = path(5)
+        labels = {1: 0, 2: 7, 3: 9, 4: 30, 5: 44}
+        parent = {1: None, 2: 1, 3: 2, 4: 3, 5: 4}
+        bound = 50
+
+        def program(info):
+            value = yield from broadcast_labeled(
+                info.id, info.neighbors, parent[info.id], labels[info.id],
+                bound, 1, "x" if info.id == 1 else None,
+            )
+            return value
+
+        res = SleepingSimulator(g, program).run()
+        assert all(v == "x" for v in res.outputs.values())
+        assert res.awake_complexity <= 3
+        assert res.round_complexity <= labeled_cast_duration(bound)
+
+    def test_convergecast_with_labels_awake_3(self):
+        g = star(6)
+        hub = max(g.nodes, key=g.degree)
+        labels = {v: 0 if v == hub else v + 3 for v in g.nodes}
+        parent = {v: None if v == hub else hub for v in g.nodes}
+
+        def program(info):
+            merged = yield from convergecast_labeled(
+                info.id, info.neighbors, parent[info.id], labels[info.id],
+                20, 1, (info.id,), lambda a, b: tuple(sorted(set(a) | set(b))),
+            )
+            return merged
+
+        res = SleepingSimulator(g, program).run()
+        assert res.outputs[hub] == tuple(sorted(g.nodes))
+        assert res.awake_complexity <= 3
+
+    def test_rejects_nonmonotone_labels(self):
+        g = path(2)
+        labels = {1: 5, 2: 3}  # child label below parent label
+
+        def program(info):
+            value = yield from broadcast_labeled(
+                info.id, info.neighbors, None if info.id == 1 else 1,
+                labels[info.id], 10, 1, "x",
+            )
+            return value
+
+        with pytest.raises((ProtocolError, SimulationError)):
+            SleepingSimulator(g, program).run()
+
+    def test_rejects_label_out_of_bound(self):
+        g = path(2)
+
+        def program(info):
+            value = yield from broadcast_labeled(
+                info.id, info.neighbors, None if info.id == 1 else 1,
+                info.id * 100, 10, 1, "x",
+            )
+            return value
+
+        with pytest.raises((ProtocolError, SimulationError)):
+            SleepingSimulator(g, program).run()
+
+
+class TestWindowComposition:
+    def test_two_broadcasts_compose_lemma8(self):
+        """Sequential composition in disjoint windows (Lemma 8): awake
+        complexities add, outputs chain."""
+        g = path(6)
+        parent, depth = bfs_tree(g, 1)
+        window = bfs_cast_duration(g.n)
+
+        def program(info):
+            first = yield from broadcast_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                g.n, 1, 10 if info.id == 1 else None,
+            )
+            second = yield from broadcast_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                g.n, 1 + window, first * 2 if info.id == 1 else None,
+            )
+            return second
+
+        res = SleepingSimulator(g, program).run()
+        assert all(v == 20 for v in res.outputs.values())
+        assert res.awake_complexity <= 4

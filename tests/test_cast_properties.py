@@ -1,0 +1,125 @@
+"""Property-based tests for Lemma 6 casts: random trees, random monotone
+labelings, random payload folds — the primitives everything else reuses."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cast import (
+    broadcast_labeled,
+    convergecast_labeled,
+    gather_bfs,
+    labeled_cast_duration,
+)
+from repro.graphs import random_tree
+from repro.model import SleepingSimulator
+
+
+@st.composite
+def tree_with_labels(draw):
+    n = draw(st.integers(3, 24))
+    seed = draw(st.integers(0, 10**6))
+    graph = random_tree(n, seed=seed)
+    root = draw(st.sampled_from(sorted(graph.nodes)))
+    depth = graph.bfs_distances(root)
+    parent = {
+        v: (None if v == root else min(
+            u for u in graph.neighbors(v) if depth[u] == depth[v] - 1))
+        for v in graph.nodes
+    }
+    # random strictly-monotone labels along root-to-leaf paths
+    rng = random.Random(draw(st.integers(0, 10**6)))
+    label = {}
+    for v in sorted(graph.nodes, key=depth.__getitem__):
+        if parent[v] is None:
+            label[v] = rng.randint(0, 3)
+        else:
+            label[v] = label[parent[v]] + rng.randint(1, 4)
+    bound = max(label.values()) + rng.randint(0, 5)
+    return graph, root, parent, label, bound
+
+
+class TestLabeledCastProperties:
+    @given(tree_with_labels())
+    @settings(max_examples=30, deadline=None)
+    def test_broadcast_reaches_everyone(self, case):
+        graph, root, parent, label, bound = case
+
+        def program(info):
+            value = yield from broadcast_labeled(
+                info.id, info.neighbors, parent[info.id], label[info.id],
+                bound, 1, ("payload", root) if info.id == root else None,
+            )
+            return value
+
+        res = SleepingSimulator(graph, program).run()
+        assert all(out == ("payload", root) for out in res.outputs.values())
+        assert res.awake_complexity <= 3
+        assert res.round_complexity <= labeled_cast_duration(bound)
+
+    @given(tree_with_labels())
+    @settings(max_examples=30, deadline=None)
+    def test_convergecast_folds_exactly_once(self, case):
+        """The fold must see every node's payload exactly once — summing
+        node IDs detects both losses and duplicates."""
+        graph, root, parent, label, bound = case
+
+        def program(info):
+            total = yield from convergecast_labeled(
+                info.id, info.neighbors, parent[info.id], label[info.id],
+                bound, 1, info.id, lambda a, b: a + b,
+            )
+            return total
+
+        res = SleepingSimulator(graph, program).run()
+        assert res.outputs[root] == sum(graph.nodes)
+        assert res.awake_complexity <= 3
+
+    @given(tree_with_labels())
+    @settings(max_examples=20, deadline=None)
+    def test_sequential_composition_lemma8(self, case):
+        """Convergecast then broadcast in adjacent windows: every node
+        learns the exact fold; awake costs add."""
+        graph, root, parent, label, bound = case
+        window = labeled_cast_duration(bound)
+
+        def program(info):
+            total = yield from convergecast_labeled(
+                info.id, info.neighbors, parent[info.id], label[info.id],
+                bound, 1, info.id, lambda a, b: a + b,
+            )
+            result = yield from broadcast_labeled(
+                info.id, info.neighbors, parent[info.id], label[info.id],
+                bound, 1 + window, total,
+            )
+            return result
+
+        res = SleepingSimulator(graph, program).run()
+        expected = sum(graph.nodes)
+        assert all(out == expected for out in res.outputs.values())
+        assert res.awake_complexity <= 6
+
+
+class TestGatherProperties:
+    @given(st.integers(3, 30), st.integers(0, 10**6), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_gather_computes_global_max(self, n, tree_seed, root_seed):
+        graph = random_tree(n, seed=tree_seed)
+        root = sorted(graph.nodes)[root_seed % n]
+        depth = graph.bfs_distances(root)
+        parent = {
+            v: (None if v == root else min(
+                u for u in graph.neighbors(v) if depth[u] == depth[v] - 1))
+            for v in graph.nodes
+        }
+
+        def program(info):
+            result = yield from gather_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                info.n, 1, info.id * 7, max,
+            )
+            return result
+
+        res = SleepingSimulator(graph, program).run()
+        assert all(out == max(graph.nodes) * 7 for out in res.outputs.values())
+        assert res.awake_complexity <= 4

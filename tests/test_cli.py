@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_graph, main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = make_parser().parse_args(["solve"])
+        assert args.family == "gnp"
+        assert args.problem == "mis"
+        assert args.algorithm == "theorem1"
+
+
+class TestBuildGraph:
+    @pytest.mark.parametrize(
+        "family", ["path", "cycle", "star", "complete", "grid", "tree",
+                     "gnp", "regular", "powerlaw"]
+    )
+    def test_families(self, family):
+        args = make_parser().parse_args(
+            ["solve", "--family", family, "--n", "12"]
+        )
+        graph = build_graph(args)
+        assert graph.n >= 4
+        assert graph.is_connected()
+
+    def test_unknown_family_rejected(self):
+        args = make_parser().parse_args(["solve", "--family", "nope"])
+        with pytest.raises(SystemExit, match="unknown family"):
+            build_graph(args)
+
+    def test_id_schemes(self):
+        for scheme, space in [("identity", 12), ("permuted", 12),
+                              ("poly2", 144)]:
+            args = make_parser().parse_args(
+                ["solve", "--family", "gnp", "--n", "12", "--ids", scheme]
+            )
+            assert build_graph(args).id_space == space
+
+
+class TestCommands:
+    def test_solve_baseline(self, capsys):
+        code = main(["solve", "--family", "path", "--n", "10",
+                     "--algorithm", "baseline", "--problem", "coloring"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline: awake=" in out
+
+    def test_solve_theorem1_with_outputs(self, capsys):
+        code = main(["solve", "--family", "cycle", "--n", "8",
+                     "--problem", "mis", "--show-outputs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "theorem1: awake=" in out
+        assert "clustering:" in out
+
+    def test_solve_with_trace(self, capsys):
+        code = main(["solve", "--family", "star", "--n", "8",
+                     "--algorithm", "baseline", "--problem", "mis",
+                     "--trace", "--trace-nodes", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "awake-rounds" in out
+
+    def test_cluster_command(self, capsys):
+        code = main(["cluster", "--family", "path", "--n", "9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster sizes:" in out
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(SystemExit, match="unknown problem"):
+            main(["solve", "--family", "path", "--n", "8",
+                  "--problem", "sudoku"])
+
+    def test_report_subset(self, tmp_path, capsys):
+        output = tmp_path / "EXP.md"
+        code = main(["report", "--output", str(output), "--only", "E2"])
+        assert code == 0
+        content = output.read_text()
+        assert "E2 — Lemma 14" in content

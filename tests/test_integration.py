@@ -1,0 +1,92 @@
+"""Cross-stack integration tests: the full pipeline, stage interchange,
+energy sparsity, and the public API surface."""
+
+import pytest
+
+from repro import (
+    PROBLEMS,
+    MaximalIndependentSet,
+    compute_clustering,
+    gnp,
+    solve,
+    solve_with_baseline,
+    solve_with_clustering,
+)
+from repro.core.theorem13 import color_palette_bound
+from repro.graphs import cycle, grid, path, random_tree, star
+from repro.model.trace import traced_simulation
+from repro.core.theorem1 import theorem1_program
+
+
+class TestStageInterchange:
+    def test_solve_equals_cluster_then_theorem9(self):
+        """solve() == compute_clustering() followed by
+        solve_with_clustering() with the same palette: the stages are
+        independently usable and compose to the same outputs."""
+        g = gnp(16, 0.25, seed=31)
+        problem = MaximalIndependentSet()
+        end_to_end = solve(g, problem)
+        clustering_result = compute_clustering(g)
+        staged = solve_with_clustering(
+            g, problem, clustering_result.clustering,
+            palette=color_palette_bound(g.n, clustering_result.b),
+        )
+        assert end_to_end.outputs == staged.outputs
+
+    def test_palette_widening_preserves_outputs(self):
+        """The palette parameter changes the calendar length, never the
+        orientation — outputs are invariant."""
+        g = gnp(14, 0.25, seed=32)
+        problem = MaximalIndependentSet()
+        clustering = compute_clustering(g).clustering
+        narrow = solve_with_clustering(g, problem, clustering)
+        wide = solve_with_clustering(g, problem, clustering, palette=4096)
+        assert narrow.outputs == wide.outputs
+
+
+class TestAllProblemsAllFamilies:
+    @pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: path(8), lambda: cycle(7), lambda: star(6),
+         lambda: grid(3, 3), lambda: random_tree(9, seed=1)],
+    )
+    def test_solve_and_baseline_agree_on_validity(self, problem_name, factory):
+        problem = PROBLEMS[problem_name]
+        g = factory()
+        inputs = problem.make_inputs(g)
+        a = solve(g, problem, inputs=inputs)  # validates internally
+        b = solve_with_baseline(g, problem, inputs=inputs)
+        assert set(a.outputs) == set(b.outputs) == set(g.nodes)
+
+
+class TestEnergySparsity:
+    def test_theorem1_sleeps_almost_always(self):
+        """The point of the model: awake rounds are a vanishing fraction
+        of the round horizon."""
+        g = gnp(16, 0.25, seed=33)
+        result = solve(g, MaximalIndependentSet())
+        ratio = result.awake_complexity / result.round_complexity
+        assert ratio < 1e-3
+
+    def test_trace_of_full_pipeline(self):
+        """The awake timeline of the full pipeline is recordable and
+        matches the metrics exactly."""
+        g = gnp(10, 0.3, seed=34)
+        problem = MaximalIndependentSet()
+        result, trace = traced_simulation(
+            g, theorem1_program(problem), inputs=problem.make_inputs(g)
+        )
+        for v in g.nodes:
+            assert trace.awake_count(v) == result.metrics.awake_rounds[v]
+        art = trace.render_timeline(width=60)
+        assert len(art.splitlines()) == g.n + 1
+
+
+class TestDeterminismAcrossRuns:
+    def test_full_pipeline_reproducible(self):
+        g = gnp(12, 0.25, seed=35)
+        a = solve(g, MaximalIndependentSet())
+        b = solve(g, MaximalIndependentSet())
+        assert a.outputs == b.outputs
+        assert a.simulation.metrics.summary() == b.simulation.metrics.summary()

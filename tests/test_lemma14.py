@@ -1,0 +1,163 @@
+"""Tests for Lemma 14: flattening two-level clusterings (Figure 2)."""
+
+import pytest
+
+from repro.core.clustering import UniquelyLabeledBFSClustering
+from repro.core.lemma14 import (
+    lemma14_duration,
+    lemma14_protocol,
+    lemma14_reference,
+)
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs import gnp, path
+from repro.graphs.examples import figure2_instance
+from repro.model import SleepingSimulator
+
+
+def run_distributed(instance):
+    g = instance.graph
+    l1, d1 = instance.level1_label, instance.level1_dist
+    l2, d2 = instance.level2_label, instance.level2_dist
+    space = max(l2.values()) + 1
+
+    def program(info):
+        lab = l1[info.id]
+        out = yield from lemma14_protocol(
+            me=info.id, peers=info.neighbors,
+            label=lab, delta=d1[info.id],
+            label2=l2[lab], dist2=d2[lab],
+            n=info.n, t0=1, label_space=space,
+        )
+        return out
+
+    return SleepingSimulator(g, program).run()
+
+
+class TestFigure2:
+    def test_distributed_equals_reference(self):
+        inst = figure2_instance()
+        res = run_distributed(inst)
+        ref = lemma14_reference(
+            inst.graph, inst.level1_label, inst.level1_dist,
+            inst.level2_label, inst.level2_dist,
+        )
+        assert res.outputs == ref
+
+    def test_result_is_valid_uniquely_labeled_clustering(self):
+        """The output (ℓ'', δ'') satisfies Definition 2 — the theorem's
+        whole point."""
+        inst = figure2_instance()
+        ref = lemma14_reference(
+            inst.graph, inst.level1_label, inst.level1_dist,
+            inst.level2_label, inst.level2_dist,
+        )
+        flattened = UniquelyLabeledBFSClustering(
+            label={v: out.label for v, out in ref.items()},
+            dist={v: out.dist for v, out in ref.items()},
+        )
+        flattened.validate(inst.graph)
+
+    def test_virtual_graph_is_k(self):
+        """The virtual graph of (ℓ'', δ'') equals K: here the two
+        super-clusters are adjacent, so K is a single edge."""
+        inst = figure2_instance()
+        ref = lemma14_reference(
+            inst.graph, inst.level1_label, inst.level1_dist,
+            inst.level2_label, inst.level2_dist,
+        )
+        flattened = UniquelyLabeledBFSClustering(
+            label={v: out.label for v, out in ref.items()},
+            dist={v: out.dist for v, out in ref.items()},
+        )
+        k = flattened.virtual_graph(inst.graph)
+        assert set(k.nodes) == {101, 102}
+        assert list(k.edges()) == [(101, 102)]
+
+    def test_new_root_rule(self):
+        """δ''(v)=0 iff δ(v)=0 and δ'(ℓ(v))=0 — the paper's root rule."""
+        inst = figure2_instance()
+        ref = lemma14_reference(
+            inst.graph, inst.level1_label, inst.level1_dist,
+            inst.level2_label, inst.level2_dist,
+        )
+        for v, out in ref.items():
+            is_root = (
+                inst.level1_dist[v] == 0
+                and inst.level2_dist[inst.level1_label[v]] == 0
+            )
+            assert (out.dist == 0) == is_root
+
+    def test_distance_uses_induced_graph_not_tree(self):
+        """Node 8 (cluster C, δ=2) can reach root 4 via 8-9-10-... or the
+        inter-cluster shortcut; δ'' must be the induced-graph distance."""
+        inst = figure2_instance()
+        ref = lemma14_reference(
+            inst.graph, inst.level1_label, inst.level1_dist,
+            inst.level2_label, inst.level2_dist,
+        )
+        g = inst.graph
+        for v, out in ref.items():
+            members = {u for u, o in ref.items() if o.label == out.label}
+            dist = _induced_distance(g, members, out.root, v)
+            assert out.dist == dist
+
+
+class TestConstantAwake:
+    def test_awake_constant_rounds_quadratic(self):
+        inst = figure2_instance()
+        res = run_distributed(inst)
+        # constant, independent of n: setup (≤5) + 5 awake virtual rounds
+        # (1 exchange + ≤4 gather) × ≤5 concrete rounds each = 30
+        assert res.awake_complexity <= 30
+        assert res.round_complexity <= lemma14_duration(inst.graph.n)
+
+
+class TestErrorPaths:
+    def test_members_disagreeing_on_l2_detected(self):
+        inst = figure2_instance()
+        bad_l2 = dict(inst.level2_label)
+
+        g = inst.graph
+        l1, d1 = inst.level1_label, inst.level1_dist
+        d2 = inst.level2_dist
+        space = 200
+
+        def program(info):
+            lab = l1[info.id]
+            # node 2 lies about its super-cluster
+            l2v = 999 if info.id == 2 else bad_l2[lab]
+            out = yield from lemma14_protocol(
+                me=info.id, peers=info.neighbors, label=lab,
+                delta=d1[info.id], label2=l2v, dist2=d2[lab],
+                n=info.n, t0=1, label_space=space,
+            )
+            return out
+
+        with pytest.raises((ProtocolError, SimulationError), match="disagree"):
+            SleepingSimulator(g, program).run()
+
+    def test_reference_rejects_disconnected_merge(self):
+        g = path(5)
+        # clusters {1},{3},{5} merged into one super-cluster but 2,4 absent
+        with pytest.raises(ProtocolError):
+            lemma14_reference(
+                g,
+                level1_label={1: 11, 2: 12, 3: 13, 4: 14, 5: 15},
+                level1_dist={v: 0 for v in g.nodes},
+                level2_label={11: 7, 12: 8, 13: 7, 14: 8, 15: 7},
+                level2_dist={11: 0, 12: 0, 13: 1, 14: 1, 15: 2},
+            )
+
+
+def _induced_distance(graph, members, source, target):
+    from collections import deque
+
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u in members and u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist[target]

@@ -1,0 +1,144 @@
+"""Unit and property tests for exact integer math helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.util.mathx import (
+    base_q_digits,
+    ceil_div,
+    ceil_log2,
+    ceil_sqrt,
+    eval_poly_mod,
+    int_log2,
+    is_prime,
+    iterated_log,
+    next_pow2,
+    next_prime,
+    sqrt_log_ceil,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ReproError):
+            ceil_div(1, 0)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_float_ceil(self, a, b):
+        assert ceil_div(a, b) == (a + b - 1) // b
+
+
+class TestLogs:
+    def test_int_log2_powers(self):
+        assert int_log2(1) == 0
+        assert int_log2(2) == 1
+        assert int_log2(1024) == 10
+
+    def test_int_log2_between_powers(self):
+        assert int_log2(1023) == 9
+
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(1025) == 11
+
+    def test_next_pow2(self):
+        assert next_pow2(1) == 1
+        assert next_pow2(3) == 4
+        assert next_pow2(16) == 16
+        assert next_pow2(17) == 32
+
+    @given(st.integers(1, 10**12))
+    def test_pow2_brackets(self, n):
+        p = next_pow2(n)
+        assert p >= n and p // 2 < n and p & (p - 1) == 0
+
+    def test_rejects_zero(self):
+        for fn in (int_log2, ceil_log2, next_pow2):
+            with pytest.raises(ReproError):
+                fn(0)
+
+
+class TestSqrt:
+    @given(st.integers(0, 10**12))
+    def test_ceil_sqrt_exact(self, n):
+        r = ceil_sqrt(n)
+        assert (r - 1) ** 2 < n or n == 0
+        assert r * r >= n
+
+    def test_sqrt_log_examples(self):
+        assert sqrt_log_ceil(1) == 0
+        assert sqrt_log_ceil(2) == 1
+        assert sqrt_log_ceil(16) == 2
+        assert sqrt_log_ceil(2**16) == 4
+        assert sqrt_log_ceil(2**17) == 5  # ceil(sqrt(17)) = 5
+
+
+class TestIteratedLog:
+    def test_known_values(self):
+        assert iterated_log(1) == 0
+        assert iterated_log(2) == 1
+        assert iterated_log(4) == 2
+        assert iterated_log(16) == 3
+        assert iterated_log(65536) == 4
+
+    def test_huge_value_is_tiny(self):
+        assert iterated_log(2**65536) == 5
+
+    @given(st.integers(2, 10**9))
+    def test_monotone_small(self, n):
+        assert iterated_log(n) <= iterated_log(n + 1) + 1
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        primes = [n for n in range(60) if is_prime(n)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+
+    def test_carmichael_not_prime(self):
+        assert not is_prime(561)
+        assert not is_prime(41041)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+
+    @given(st.integers(2, 10**6))
+    def test_next_prime_is_prime_and_minimal(self, n):
+        p = next_prime(n)
+        assert is_prime(p) and p >= n
+        assert not any(is_prime(m) for m in range(n, p))
+
+    def test_bertrand_window(self):
+        # next_prime(b+1) <= 2b+2 backs the a=16 constant of Lemma 15.
+        for b in range(1, 2000):
+            assert next_prime(b + 1) <= 2 * b + 2
+
+
+class TestPolynomials:
+    @given(st.integers(0, 10**6), st.integers(2, 97), st.integers(1, 12))
+    def test_digit_roundtrip(self, value, q, width):
+        if value >= q**width:
+            value %= q**width
+        digits = base_q_digits(value, q, width)
+        assert sum(d * q**i for i, d in enumerate(digits)) == value
+
+    def test_eval_poly(self):
+        # p(x) = 3 + 2x + x^2 over F_7 at x=5: 3 + 10 + 25 = 38 = 3 mod 7
+        assert eval_poly_mod([3, 2, 1], 5, 7) == 3
+
+    def test_digits_overflow_rejected(self):
+        with pytest.raises(ReproError):
+            base_q_digits(100, 10, 2)

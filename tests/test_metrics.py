@@ -1,0 +1,82 @@
+"""Tests for complexity accounting, including message-size measurement."""
+
+from repro.graphs import gnp, path, star
+from repro.model import AwakeAt, Broadcast, SleepingSimulator
+from repro.model.metrics import SimulationMetrics, payload_weight
+from repro.core.theorem9 import solve_with_clustering
+from repro.core.theorem13 import compute_clustering
+
+
+class TestPayloadWeight:
+    def test_atoms(self):
+        assert payload_weight(5) == 1
+        assert payload_weight("hello") == 1
+        assert payload_weight(None) == 1
+
+    def test_containers(self):
+        assert payload_weight((1, 2, 3)) == 3
+        assert payload_weight({1: "a", 2: "b"}) == 4
+        assert payload_weight([]) == 1  # empty containers still cost one
+
+    def test_nested(self):
+        assert payload_weight({"k": (1, 2)}) == 3
+
+    def test_depth_capped(self):
+        deep = [1]
+        for _ in range(30):
+            deep = [deep]
+        assert payload_weight(deep) >= 1  # no RecursionError
+
+
+class TestMeasuredSizes:
+    def test_opt_in_measurement(self):
+        g = path(3)
+
+        def program(info):
+            yield AwakeAt(1, Broadcast(tuple(range(10))))
+            return None
+
+        plain = SleepingSimulator(g, program).run()
+        assert plain.metrics.max_message_weight == 0
+
+        measured = SleepingSimulator(
+            g, program, measure_message_sizes=True
+        ).run()
+        assert measured.metrics.max_message_weight == 10
+        # 2 + 2 edges... path(3): degrees 1,2,1 -> 4 messages of weight 10
+        assert measured.metrics.total_message_weight == 40
+
+    def test_summary_includes_weight_when_measured(self):
+        metrics = SimulationMetrics()
+        assert "max_message_weight" not in metrics.summary()
+        metrics.charge_message_weight(7)
+        assert metrics.summary()["max_message_weight"] == 7
+
+    def test_theorem9_ships_cluster_sized_messages(self):
+        """The paper's protocols send whole cluster states: measured
+        message weights grow with cluster size, quantifying the 'messages
+        of arbitrary size' allowance of the LOCAL model."""
+        from repro.core.clustering import ColoredBFSClustering
+        from repro.core.theorem9 import theorem9_protocol
+        from repro.olocal import MaximalIndependentSet
+
+        g = star(12)
+        hub = max(g.nodes, key=g.degree)
+        # one big cluster (the whole star), colored 1
+        from collections import deque
+
+        dist = g.bfs_distances(hub)
+        clustering = ColoredBFSClustering(
+            {v: 1 for v in g.nodes}, dist
+        )
+
+        def program(info):
+            out = yield from theorem9_protocol(
+                me=info.id, peers=info.neighbors, color=1, delta=dist[info.id],
+                palette=1, problem=MaximalIndependentSet(), t0=1, n=info.n,
+            )
+            return out
+
+        res = SleepingSimulator(g, program, measure_message_sizes=True).run()
+        # the gather of the whole-cluster state must exceed the n atoms
+        assert res.metrics.max_message_weight >= g.n

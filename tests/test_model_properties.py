@@ -1,0 +1,123 @@
+"""Property-based tests of the Sleeping-model runtime itself.
+
+The simulator is the substrate every result rests on, so its semantics get
+their own hypothesis suite: co-awake delivery, exact accounting, and
+schedule independence from graph labeling.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import StaticGraph, gnp
+from repro.model import AwakeAt, SleepingSimulator
+from repro.model.trace import traced_simulation
+
+
+def schedule_program(schedules, payload_of=lambda v, r: (v, r)):
+    """A program that wakes at a fixed schedule, broadcasting each time,
+    and returns everything it received."""
+
+    def program(info):
+        received = []
+        for r in schedules[info.id]:
+            inbox = yield AwakeAt(
+                r, {u: payload_of(info.id, r) for u in info.neighbors}
+            )
+            received.extend((r, u, msg) for u, msg in sorted(inbox.items()))
+        return received
+
+    return program
+
+
+@st.composite
+def graph_and_schedules(draw):
+    n = draw(st.integers(3, 14))
+    seed = draw(st.integers(0, 10**6))
+    graph = gnp(n, 3.0 / n, seed=seed)
+    rng = random.Random(draw(st.integers(0, 10**6)))
+    schedules = {
+        v: sorted(rng.sample(range(1, 40), rng.randint(1, 6)))
+        for v in graph.nodes
+    }
+    return graph, schedules
+
+
+class TestDeliverySemantics:
+    @given(graph_and_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_delivery_iff_co_awake_neighbors(self, case):
+        """A node receives (r, u, payload) exactly when u is an adjacent
+        node awake at round r — the defining Sleeping-model rule."""
+        graph, schedules = case
+        res = SleepingSimulator(graph, schedule_program(schedules)).run()
+        awake_at = {
+            v: set(rounds) for v, rounds in schedules.items()
+        }
+        for v in graph.nodes:
+            got = {(r, u) for r, u, _ in res.outputs[v]}
+            expected = {
+                (r, u)
+                for u in graph.neighbors(v)
+                for r in awake_at[u] & awake_at[v]
+            }
+            assert got == expected
+
+    @given(graph_and_schedules())
+    @settings(max_examples=30, deadline=None)
+    def test_exact_accounting(self, case):
+        graph, schedules = case
+        res = SleepingSimulator(graph, schedule_program(schedules)).run()
+        metrics = res.metrics
+        for v in graph.nodes:
+            assert metrics.awake_rounds[v] == len(schedules[v])
+            assert metrics.termination_round[v] == schedules[v][-1]
+        all_rounds = set().union(*(set(s) for s in schedules.values()))
+        assert metrics.active_rounds == len(all_rounds)
+        assert metrics.round_complexity == max(
+            s[-1] for s in schedules.values()
+        )
+
+    @given(graph_and_schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_trace_agrees_with_schedule(self, case):
+        graph, schedules = case
+        _, trace = traced_simulation(graph, schedule_program(schedules))
+        for v in graph.nodes:
+            assert trace.awake_rounds[v] == schedules[v]
+
+    @given(graph_and_schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_message_count(self, case):
+        """Messages *sent* count per (sender-round, neighbor) regardless of
+        whether the target was awake (losses still cost energy to send)."""
+        graph, schedules = case
+        res = SleepingSimulator(graph, schedule_program(schedules)).run()
+        expected = sum(
+            len(schedules[v]) * graph.degree(v) for v in graph.nodes
+        )
+        assert res.metrics.messages_sent == expected
+
+
+class TestDeterminism:
+    @given(graph_and_schedules())
+    @settings(max_examples=15, deadline=None)
+    def test_reruns_identical(self, case):
+        graph, schedules = case
+        r1 = SleepingSimulator(graph, schedule_program(schedules)).run()
+        r2 = SleepingSimulator(graph, schedule_program(schedules)).run()
+        assert r1.outputs == r2.outputs
+        assert r1.metrics.summary() == r2.metrics.summary()
+
+
+class TestIsolatedNode:
+    def test_single_node_graph(self):
+        graph = StaticGraph({1: ()}, id_space=1)
+
+        def program(info):
+            inbox = yield AwakeAt(5)
+            return dict(inbox)
+
+        res = SleepingSimulator(graph, program).run()
+        assert res.outputs == {1: {}}
+        assert res.round_complexity == 5

@@ -1,0 +1,100 @@
+"""Tests for Theorem 1 — the end-to-end headline result."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.theorem1 import solve, theorem1_duration
+from repro.core.theorem9 import theorem9_reference
+from repro.graphs import complete_graph, cycle, gnp, grid, path, star
+from repro.olocal import (
+    PROBLEMS,
+    DegreePlusOneListColoring,
+    DeltaPlusOneColoring,
+    MaximalIndependentSet,
+)
+from repro.util.idspace import permuted_ids
+from repro.util.mathx import iterated_log, sqrt_log_ceil
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+    def test_all_problems_valid(self, problem_name):
+        problem = PROBLEMS[problem_name]
+        g = gnp(14, 0.25, seed=1)
+        result = solve(g, problem)  # validate=True checks the solution
+        assert set(result.outputs) == set(g.nodes)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: path(9), lambda: cycle(8), lambda: star(7),
+         lambda: grid(3, 3), lambda: complete_graph(6),
+         lambda: gnp(12, 0.3, seed=2, ids=permuted_ids(12, seed=3))],
+    )
+    def test_graph_families(self, factory):
+        g = factory()
+        result = solve(g, MaximalIndependentSet())
+        assert set(result.outputs) == set(g.nodes)
+
+    def test_output_is_a_sequential_greedy_run(self):
+        """The defining O-LOCAL property: the distributed output equals the
+        sequential greedy under the clustering-induced orientation."""
+        g = gnp(14, 0.25, seed=4)
+        problem = DeltaPlusOneColoring()
+        result = solve(g, problem)
+        oracle = theorem9_reference(g, problem, result.clustering)
+        assert result.outputs == oracle
+
+    def test_list_coloring_respects_lists(self):
+        g = cycle(8)
+        problem = DegreePlusOneListColoring()
+        inputs = {v: tuple(range(v, v + 4)) for v in g.nodes}
+        result = solve(g, problem, inputs=inputs)
+        for v, color in result.outputs.items():
+            assert color in inputs[v]
+
+    def test_clustering_exposed(self):
+        g = gnp(12, 0.25, seed=5)
+        result = solve(g, MaximalIndependentSet())
+        result.clustering.validate(g)
+        assert result.clustering.max_color() <= result.palette_bound
+
+
+class TestComplexityBounds:
+    def test_awake_sqrtlog_logstar(self):
+        g = gnp(20, 0.2, seed=6)
+        result = solve(g, DeltaPlusOneColoring())
+        sqrt_log = max(1, sqrt_log_ceil(g.n))
+        log_star = max(1, iterated_log(g.id_space))
+        budget = 2 * sqrt_log * (5 + 7 * (20 + 7 * log_star) + 40) + 7 * (
+            1 + 30
+        )
+        assert result.awake_complexity <= budget
+
+    def test_round_complexity_within_duration(self):
+        g = gnp(10, 0.3, seed=7)
+        result = solve(g, MaximalIndependentSet())
+        assert result.round_complexity <= theorem1_duration(g.n, g.id_space)
+
+    def test_awake_independent_of_delta(self):
+        """The point of the paper: on stars (Δ = n-1) the awake complexity
+        does not blow up with the degree — unlike the BM21 baseline whose
+        schedule is Θ(log Δ)."""
+        small = solve(star(8), MaximalIndependentSet())
+        big = solve(star(16), MaximalIndependentSet())
+        # same sqrt(log n) regime: awake stays in the same ballpark
+        assert big.awake_complexity <= 2 * small.awake_complexity
+
+    def test_b_override(self):
+        g = gnp(12, 0.25, seed=8)
+        result = solve(g, MaximalIndependentSet(), b=3)
+        assert result.b == 3
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(4, 14), st.integers(0, 10**6))
+def test_property_end_to_end(n, seed):
+    g = gnp(n, 3.0 / n, seed=seed)
+    problem = MaximalIndependentSet()
+    result = solve(g, problem)
+    oracle = theorem9_reference(g, problem, result.clustering)
+    assert result.outputs == oracle

@@ -1,0 +1,166 @@
+"""Tests for Theorem 9: solving O-LOCAL problems given a colored
+BFS-clustering, awake O(log c)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import ColoredBFSClustering
+from repro.core.theorem9 import (
+    solve_with_clustering,
+    theorem9_duration,
+    theorem9_reference,
+)
+from repro.core.theorem13 import theorem13_reference
+from repro.graphs import cycle, gnp, grid, path, star
+from repro.olocal import (
+    PROBLEMS,
+    DeltaPlusOneColoring,
+    MaximalIndependentSet,
+)
+from repro.util.mathx import ceil_log2, next_pow2
+
+
+def trivial_clustering(graph):
+    """Each node a singleton cluster colored by a greedy proper coloring."""
+    colors = {}
+    for v in graph.nodes:
+        used = {colors[u] for u in graph.neighbors(v) if u in colors}
+        c = 1
+        while c in used:
+            c += 1
+        colors[v] = c
+    return ColoredBFSClustering(colors, {v: 0 for v in graph.nodes})
+
+
+def coarse_clustering(graph, piece=3):
+    """Contiguous clusters of ~piece nodes, 2-colored along the quotient."""
+    label, next_label, seen = {}, 0, set()
+    for v in graph.nodes:
+        if v in seen:
+            continue
+        comp, frontier = [v], [v]
+        seen.add(v)
+        while frontier and len(comp) < piece:
+            x = frontier.pop()
+            for u in graph.neighbors(x):
+                if u not in seen and len(comp) < piece:
+                    seen.add(u)
+                    comp.append(u)
+                    frontier.append(u)
+        for u in comp:
+            label[u] = next_label
+        next_label += 1
+    # color the quotient graph greedily
+    quotient_adj: dict[int, set[int]] = {}
+    for u, v in graph.edges():
+        if label[u] != label[v]:
+            quotient_adj.setdefault(label[u], set()).add(label[v])
+            quotient_adj.setdefault(label[v], set()).add(label[u])
+    qcolor: dict[int, int] = {}
+    for lab in sorted(set(label.values())):
+        used = {qcolor[m] for m in quotient_adj.get(lab, ()) if m in qcolor}
+        c = 1
+        while c in used:
+            c += 1
+        qcolor[lab] = c
+    color = {v: qcolor[label[v]] for v in graph.nodes}
+    # BFS distances within each cluster
+    dist = {}
+    for lab in set(label.values()):
+        members = {v for v in graph.nodes if label[v] == lab}
+        root = min(members)
+        from collections import deque
+
+        d = {root: 0}
+        queue = deque([root])
+        while queue:
+            x = queue.popleft()
+            for u in graph.neighbors(x):
+                if u in members and u not in d:
+                    d[u] = d[x] + 1
+                    queue.append(u)
+        dist.update(d)
+    clustering = ColoredBFSClustering(color, dist)
+    clustering.validate(graph)
+    return clustering
+
+
+CLUSTERINGS = [trivial_clustering, coarse_clustering]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+    @pytest.mark.parametrize("make_clustering", CLUSTERINGS)
+    def test_valid_and_matches_oracle(self, problem_name, make_clustering):
+        problem = PROBLEMS[problem_name]
+        g = gnp(20, 0.15, seed=2)
+        clustering = make_clustering(g)
+        inputs = problem.make_inputs(g)
+        res = solve_with_clustering(g, problem, clustering, inputs)
+        oracle = theorem9_reference(g, problem, clustering, inputs)
+        assert res.outputs == oracle
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: path(15), lambda: cycle(12), lambda: star(9),
+         lambda: grid(4, 4), lambda: gnp(24, 0.12, seed=7)],
+    )
+    def test_families_with_coarse_clusters(self, factory):
+        g = factory()
+        clustering = coarse_clustering(g)
+        res = solve_with_clustering(g, MaximalIndependentSet(), clustering)
+        oracle = theorem9_reference(g, MaximalIndependentSet(), clustering)
+        assert res.outputs == oracle
+
+    def test_theorem13_clustering_feeds_theorem9(self):
+        """Integration: the Theorem 13 clustering is a valid input."""
+        g = gnp(16, 0.2, seed=4)
+        clustering_result = theorem13_reference(g)
+        res = solve_with_clustering(
+            g, DeltaPlusOneColoring(), clustering_result.clustering
+        )
+        assert set(res.outputs) == set(g.nodes)
+
+
+class TestComplexity:
+    def test_awake_log_c(self):
+        """Awake ≤ pre-phase (3) + setup (≤5) + 7·(1 + log₂ q) where
+        q = next_pow2(c) — the O(log c) of Theorem 9."""
+        g = gnp(24, 0.15, seed=5)
+        clustering = coarse_clustering(g)
+        c = clustering.canonical().max_color()
+        res = solve_with_clustering(g, DeltaPlusOneColoring(), clustering)
+        budget = 3 + 5 + 7 * (1 + ceil_log2(next_pow2(c)))
+        assert res.awake_complexity <= budget
+
+    def test_round_complexity_o_cn(self):
+        g = gnp(20, 0.15, seed=6)
+        clustering = coarse_clustering(g)
+        c = clustering.canonical().max_color()
+        res = solve_with_clustering(g, DeltaPlusOneColoring(), clustering)
+        assert res.round_complexity <= theorem9_duration(g.n, c)
+
+    def test_awake_grows_slowly_with_palette(self):
+        """Widening the assumed palette c costs only log-many extra awake
+        rounds."""
+        g = gnp(20, 0.15, seed=8)
+        clustering = trivial_clustering(g)
+        small = solve_with_clustering(g, MaximalIndependentSet(), clustering)
+        wide = solve_with_clustering(
+            g, MaximalIndependentSet(), clustering, palette=1024
+        )
+        assert (
+            wide.awake_complexity
+            <= small.awake_complexity + 7 * ceil_log2(1024)
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(6, 24), st.integers(0, 10**6))
+def test_property_random_graph_random_clusters(n, seed):
+    g = gnp(n, 2.5 / n, seed=seed)
+    clustering = coarse_clustering(g, piece=2 + seed % 3)
+    problem = DeltaPlusOneColoring()
+    res = solve_with_clustering(g, problem, clustering)
+    oracle = theorem9_reference(g, problem, clustering)
+    assert res.outputs == oracle

@@ -1,0 +1,122 @@
+"""Tests for execution tracing and energy diagrams."""
+
+from repro.core.cast import broadcast_bfs
+from repro.model.trace import ExecutionTrace, traced_simulation
+from repro.graphs import path, star
+from repro.model import AwakeAt
+
+
+class TestExecutionTrace:
+    def test_record_and_count(self):
+        trace = ExecutionTrace()
+        trace.record(1, 5)
+        trace.record(1, 9)
+        trace.record(2, 5)
+        assert trace.awake_count(1) == 2
+        assert trace.awake_count(2) == 1
+        assert trace.awake_count(99) == 0
+        assert trace.last_round() == 9
+
+    def test_active_rounds_merged(self):
+        trace = ExecutionTrace()
+        trace.record(1, 3)
+        trace.record(2, 3)
+        trace.record(2, 7)
+        assert trace.active_rounds() == [3, 7]
+
+    def test_co_awake(self):
+        trace = ExecutionTrace()
+        for r in (1, 4, 9):
+            trace.record(1, r)
+        for r in (4, 9, 12):
+            trace.record(2, r)
+        assert trace.co_awake(1, 2) == [4, 9]
+
+    def test_energy_histogram(self):
+        trace = ExecutionTrace()
+        trace.record(1, 1)
+        trace.record(2, 1)
+        trace.record(2, 2)
+        assert trace.energy_histogram() == {1: 1, 2: 1}
+
+    def test_render_empty(self):
+        assert "no awake rounds" in ExecutionTrace().render_timeline()
+
+
+class TestTracedSimulation:
+    def test_trace_matches_metrics(self):
+        g = path(6)
+
+        def program(info):
+            yield AwakeAt(info.id)
+            yield AwakeAt(info.id + 10)
+            return None
+
+        result, trace = traced_simulation(g, program)
+        for v in g.nodes:
+            assert trace.awake_rounds[v] == [v, v + 10]
+            assert trace.awake_count(v) == result.metrics.awake_rounds[v]
+
+    def test_broadcast_trace_shows_wave(self):
+        """The broadcast wave: node at depth d wakes after its parent."""
+        g = path(8)
+        depth = g.bfs_distances(1)
+        parent = {
+            v: (None if v == 1 else v - 1) for v in g.nodes
+        }
+
+        def program(info):
+            value = yield from broadcast_bfs(
+                info.id, info.neighbors, parent[info.id], depth[info.id],
+                info.n, 1, "w" if info.id == 1 else None,
+            )
+            return value
+
+        result, trace = traced_simulation(g, program)
+        for v in g.nodes:
+            if v > 1:
+                # each node's last awake round trails its parent's by one
+                assert trace.awake_rounds[v][-1] == trace.awake_rounds[v - 1][-1] + 1
+
+    def test_timeline_rendering(self):
+        g = star(5)
+
+        def program(info):
+            yield AwakeAt(1 + (info.id % 3))
+            return None
+
+        _, trace = traced_simulation(g, program)
+        art = trace.render_timeline()
+        lines = art.splitlines()
+        assert len(lines) == g.n + 1  # header + one row per node
+        assert all("#" in line for line in lines[1:])
+
+    def test_energy_summary_rendering(self):
+        trace = ExecutionTrace()
+        for v in range(10):
+            for r in range(1, v % 3 + 2):
+                trace.record(v, r)
+        art = trace.render_energy_summary()
+        assert "awake-rounds" in art
+        assert "█" in art
+
+    def test_co_awake_is_necessary_for_delivery(self):
+        """Cross-check the model: a message was delivered only at rounds
+        where sender and receiver were co-awake."""
+        g = path(2)
+        received_at = {}
+
+        def program(info):
+            inbox = yield AwakeAt(2 if info.id == 1 else 3, {
+                (2 if info.id == 1 else 1): "x"
+            })
+            if inbox:
+                received_at[info.id] = True
+            inbox = yield AwakeAt(5, {(2 if info.id == 1 else 1): "y"})
+            if inbox:
+                received_at[info.id] = True
+            return None
+
+        result, trace = traced_simulation(g, program)
+        assert trace.co_awake(1, 2) == [5]
+        assert received_at == {1: True, 2: True}  # only the round-5 exchange

@@ -1,0 +1,239 @@
+"""Tests for Lemma 7: running protocols on the virtual graph of a
+uniquely-labeled BFS-clustering, with replica consistency and the ×7 awake
+overhead bound."""
+
+import pytest
+
+from repro.core.clustering import UniquelyLabeledBFSClustering
+from repro.core.linial import final_palette, linial_coloring, linial_duration
+from repro.core.virtual import (
+    run_on_virtual_graph,
+    setup_duration,
+    virtual_duration,
+)
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs import StaticGraph, cycle, gnp, path
+from repro.graphs.examples import figure2_instance
+from repro.model import AwakeAt, SleepingSimulator
+
+
+def make_clustered(graph, membership):
+    """Helper: a clustering from a membership map, plus per-node pairs."""
+    clustering = UniquelyLabeledBFSClustering.from_roots(graph, membership)
+    clustering.validate(graph)
+    return clustering
+
+
+def run_virtual(graph, clustering, vprogram, vrounds, label_space=None,
+                contribution_fn=None, setup_extra=None):
+    space = label_space if label_space is not None else graph.id_space
+
+    def program(info):
+        outcome = yield from run_on_virtual_graph(
+            me=info.id,
+            peers=info.neighbors,
+            label=clustering.label[info.id],
+            delta=clustering.dist[info.id],
+            n=info.n,
+            t0=1,
+            vprogram=vprogram,
+            label_space=space,
+            max_virtual_rounds=vrounds,
+            contribution_fn=contribution_fn,
+            setup_extra=setup_extra,
+        )
+        return outcome
+
+    return SleepingSimulator(graph, program).run()
+
+
+class TestSetup:
+    def test_members_and_neighbors_discovered(self):
+        inst = figure2_instance()
+        clustering = UniquelyLabeledBFSClustering(
+            inst.level1_label, inst.level1_dist
+        )
+
+        def vprogram(vinfo):
+            return (vinfo.id, vinfo.neighbors)
+            yield  # pragma: no cover
+
+        res = run_virtual(inst.graph, clustering, vprogram, vrounds=1)
+        out = res.outputs
+        # cluster 1 = {1,2,3} is adjacent to clusters 2 (edge 2-4) and 3 (3-7)
+        assert out[1].output == (1, (2, 3))
+        assert out[1].members == (1, 2, 3)
+        # all replicas of a cluster agree
+        assert out[1].output == out[2].output == out[3].output
+        # cluster 3 = {6,7,8} adjacent to 1, 2, 4
+        assert out[6].output == (3, (1, 2, 4))
+
+    def test_contributions_merged(self):
+        g = path(4)
+        clustering = make_clustered(g, {1: 10, 2: 10, 3: 20, 4: 20})
+
+        def contribution(neighbor_setup):
+            return ("contrib", sorted(neighbor_setup))
+
+        def vprogram(vinfo):
+            return vinfo.input
+            yield  # pragma: no cover
+
+        res = run_virtual(
+            g, clustering, vprogram, vrounds=1, contribution_fn=contribution
+        )
+        assert res.outputs[1].output == {
+            1: ("contrib", [2]),
+            2: ("contrib", [1, 3]),
+        }
+
+    def test_invalid_delta_detected(self):
+        g = path(3)
+        clustering = UniquelyLabeledBFSClustering(
+            {1: 9, 2: 9, 3: 9}, {1: 0, 2: 1, 3: 5}  # δ jumps
+        )
+
+        def vprogram(vinfo):
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises((ProtocolError, SimulationError), match="BFS"):
+            run_virtual(g, clustering, vprogram, vrounds=1)
+
+
+class TestMessagePassing:
+    def test_virtual_round_exchange(self):
+        """Clusters on a path of three clusters exchange their labels."""
+        g = path(6)
+        clustering = make_clustered(g, {1: 5, 2: 5, 3: 6, 4: 6, 5: 7, 6: 7})
+
+        def vprogram(vinfo):
+            inbox = yield AwakeAt(
+                1, {lab: ("hello", vinfo.id) for lab in vinfo.neighbors}
+            )
+            return sorted(inbox.values())
+
+        res = run_virtual(g, clustering, vprogram, vrounds=1)
+        assert res.outputs[1].output == [("hello", 6)]
+        assert res.outputs[3].output == [("hello", 5), ("hello", 7)]
+        assert res.outputs[5].output == [("hello", 6)]
+
+    def test_sleeping_virtual_node_misses_messages(self):
+        """A cluster asleep in virtual round 1 loses the message — Sleeping
+        semantics lift to the virtual level."""
+        g = path(4)
+        clustering = make_clustered(g, {1: 5, 2: 5, 3: 6, 4: 6})
+
+        def vprogram(vinfo):
+            if vinfo.id == 5:
+                inbox = yield AwakeAt(1, {6: "early"})
+                inbox = yield AwakeAt(2, {6: "late"})
+                return None
+            inbox = yield AwakeAt(2)  # asleep in virtual round 1
+            return dict(inbox)
+
+        res = run_virtual(g, clustering, vprogram, vrounds=2)
+        assert res.outputs[3].output == {5: "late"}
+
+    def test_nonneighbor_virtual_send_rejected(self):
+        g = path(4)
+        clustering = make_clustered(g, {1: 5, 2: 5, 3: 6, 4: 6})
+
+        def vprogram(vinfo):
+            yield AwakeAt(1, {999: "boo"})
+            return None
+
+        with pytest.raises((ProtocolError, SimulationError), match="non-neighbor"):
+            run_virtual(g, clustering, vprogram, vrounds=1)
+
+    def test_window_overrun_detected(self):
+        g = path(2)
+        clustering = make_clustered(g, {1: 5, 2: 5})
+
+        def vprogram(vinfo):
+            yield AwakeAt(100)
+            return None
+
+        with pytest.raises((ProtocolError, SimulationError), match="overrun"):
+            run_virtual(g, clustering, vprogram, vrounds=3)
+
+
+class TestLemma7Bounds:
+    def test_awake_overhead_at_most_7x(self):
+        """Awake ≤ setup(≤5) + 7 × (virtual awake rounds), per Lemma 7
+        (our phases use ≤5: 1 exchange + ≤4 gather)."""
+        g = gnp(18, 0.2, seed=3)
+        membership = {v: 100 + (v % 4) for v in g.nodes}
+        # refine to connected pieces
+        clustering = UniquelyLabeledBFSClustering.from_roots(
+            g, _refine_connected(g, membership)
+        )
+        clustering.validate(g)
+        virtual_awake = 3
+
+        def vprogram(vinfo):
+            for r in range(1, virtual_awake + 1):
+                yield AwakeAt(r, {lab: r for lab in vinfo.neighbors})
+            return "done"
+
+        def program(info):
+            outcome = yield from run_on_virtual_graph(
+                info.id, info.neighbors, clustering.label[info.id],
+                clustering.dist[info.id], info.n, 1, vprogram,
+                label_space=g.id_space, max_virtual_rounds=virtual_awake,
+            )
+            return outcome.output
+
+        res = SleepingSimulator(g, program).run()
+        assert all(out == "done" for out in res.outputs.values())
+        assert res.awake_complexity <= 5 + 7 * virtual_awake
+        assert res.round_complexity <= virtual_duration(g.n, virtual_awake)
+
+    def test_virtual_linial_matches_direct_run(self):
+        """Linial on the virtual graph H via Lemma 7 produces exactly the
+        coloring a direct simulation on H produces — simulation is faithful."""
+        g = cycle(12)
+        membership = {v: 100 + (v - 1) // 3 for v in g.nodes}
+        clustering = make_clustered(g, membership)
+        h = clustering.virtual_graph(g)
+        degree = h.max_degree
+
+        def vprogram(vinfo):
+            color = yield from linial_coloring(
+                vinfo.id, vinfo.neighbors, color=vinfo.id - 1,
+                palette=vinfo.id_space, conflict_degree=degree, t0=1,
+            )
+            return color
+
+        vrounds = linial_duration(h.id_space, degree)
+        res = run_virtual(g, clustering, vprogram, vrounds, label_space=h.id_space)
+
+        def direct(info):
+            color = yield from linial_coloring(
+                info.id, info.neighbors, color=info.id - 1,
+                palette=info.id_space, conflict_degree=degree, t0=1,
+            )
+            return color
+
+        direct_res = SleepingSimulator(h, direct).run()
+        for v in g.nodes:
+            assert res.outputs[v].output == direct_res.outputs[clustering.label[v]]
+
+
+def _refine_connected(graph, raw):
+    label, next_label, seen = {}, 1000, set()
+    for v in graph.nodes:
+        if v in seen:
+            continue
+        comp, stack = {v}, [v]
+        while stack:
+            x = stack.pop()
+            for u in graph.neighbors(x):
+                if u not in comp and u not in seen and raw[u] == raw[v]:
+                    comp.add(u)
+                    stack.append(u)
+        for u in comp:
+            label[u] = next_label
+        seen |= comp
+        next_label += 1
+    return label

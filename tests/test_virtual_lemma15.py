@@ -1,0 +1,92 @@
+"""Faithfulness of the virtualization: running Lemma 15 *through* Lemma 7
+over a clustering of G must produce exactly what Lemma 15 produces when
+simulated directly on the virtual graph H — the property Theorem 13's
+correctness rests on."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import UniquelyLabeledBFSClustering
+from repro.core.lemma15 import (
+    lemma15_duration,
+    lemma15_protocol,
+    lemma15_reference,
+)
+from repro.core.virtual import run_on_virtual_graph
+from repro.graphs import gnp
+from repro.model import SleepingSimulator
+
+
+def random_connected_clustering(graph, num_groups, seed, label_base=1000):
+    """Random membership, refined to connected clusters."""
+    rng = random.Random(seed)
+    raw = {v: rng.randrange(num_groups) for v in graph.nodes}
+    label, next_label, seen = {}, label_base, set()
+    for v in graph.nodes:
+        if v in seen:
+            continue
+        comp, stack = {v}, [v]
+        while stack:
+            x = stack.pop()
+            for u in graph.neighbors(x):
+                if u not in comp and u not in seen and raw[u] == raw[v]:
+                    comp.add(u)
+                    stack.append(u)
+        for u in comp:
+            label[u] = next_label
+        seen |= comp
+        next_label += 1
+    return UniquelyLabeledBFSClustering.from_roots(graph, label)
+
+
+def run_lemma15_via_virtual(graph, clustering, b, label_space):
+    vrounds = lemma15_duration(graph.n, label_space, b)
+
+    def vprogram(vinfo):
+        out = yield from lemma15_protocol(
+            me=vinfo.id, peers=vinfo.neighbors, n=vinfo.n,
+            id_space=label_space, b=b, t0=1,
+        )
+        return out
+
+    def program(info):
+        outcome = yield from run_on_virtual_graph(
+            me=info.id, peers=info.neighbors,
+            label=clustering.label[info.id], delta=clustering.dist[info.id],
+            n=info.n, t0=1, vprogram=vprogram, label_space=label_space,
+            max_virtual_rounds=vrounds,
+        )
+        return outcome.output
+
+    return SleepingSimulator(graph, program).run()
+
+
+@pytest.mark.parametrize("seed,groups,b", [(1, 3, 2), (2, 4, 3), (5, 2, 2)])
+def test_virtual_lemma15_equals_reference_on_h(seed, groups, b):
+    g = gnp(22, 0.18, seed=seed)
+    clustering = random_connected_clustering(g, groups, seed)
+    clustering.validate(g)
+    h = clustering.virtual_graph(g)
+    label_space = max(h.id_space, max(clustering.label.values()))
+
+    res = run_lemma15_via_virtual(g, clustering, b, label_space)
+    ref = lemma15_reference(
+        type(h)(h.adjacency, id_space=label_space), b
+    )
+    for v in g.nodes:
+        assert res.outputs[v] == ref.outputs[clustering.label[v]]
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(8, 20), st.integers(0, 10**6), st.integers(2, 3))
+def test_property_virtual_matches_direct(n, seed, b):
+    g = gnp(n, 3.0 / n, seed=seed)
+    clustering = random_connected_clustering(g, 3, seed)
+    h = clustering.virtual_graph(g)
+    label_space = max(h.id_space, max(clustering.label.values()))
+    res = run_lemma15_via_virtual(g, clustering, b, label_space)
+    ref = lemma15_reference(type(h)(h.adjacency, id_space=label_space), b)
+    for v in g.nodes:
+        assert res.outputs[v] == ref.outputs[clustering.label[v]]
