@@ -1,0 +1,351 @@
+#!/usr/bin/env python
+"""Engine microbenchmarks: the indexed graph core and the fast event loops.
+
+Measures, on the same machine and in the same process:
+
+- **graph_construction** — ``StaticGraph.from_edges`` (trusted build +
+  eager CSR index) vs the seed's per-edge revalidation of the same
+  adjacency;
+- **nodes_neighbors_access** — repeated ``nodes``/``degree``/``neighbors``
+  sweeps on the cached index vs the seed's sort-per-access semantics;
+- **sim_wake / sim_broadcast** — :class:`SleepingSimulator` (bucketed
+  wake queue + lockstep carry + zero-copy broadcast + lazy inboxes) vs
+  the seed stack: :class:`ReferenceSleepingSimulator` driving programs
+  that allocate cost-faithful frozen-dataclass actions;
+- **lockstep_quiet / lockstep_greedy** — ``run_local``'s native lockstep
+  engine vs the seed stack (generator route on the reference loop).
+
+Each simulator pair is also checked for *bit-identical* outputs and
+metrics before its timing is reported — a benchmark that changed
+semantics refuses to report at all.
+
+Speedup ratios (new vs seed, same process) are hardware-independent and
+are what ``--check`` regresses against; absolute numbers are recorded
+for context only.
+
+Usage:
+    python benchmarks/bench_engine.py                # full run, prints table
+    python benchmarks/bench_engine.py --quick        # n=1024 only, 1 rep
+    python benchmarks/bench_engine.py --emit PATH    # also write JSON
+    python benchmarks/bench_engine.py --check PATH   # fail if any speedup
+                                                     # regressed >2x vs PATH
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import GraphError  # noqa: E402
+from repro.graphs import gnp, path, preferential_attachment  # noqa: E402
+from repro.graphs.graph import StaticGraph  # noqa: E402
+from repro.model import AwakeAt, Broadcast, SleepingSimulator  # noqa: E402
+from repro.model.lockstep import LocalNodeState, run_local  # noqa: E402
+from repro.model.reference import ReferenceSleepingSimulator  # noqa: E402
+
+
+class SeedAwakeAt(AwakeAt):
+    """Cost-faithful replica of the seed's frozen-dataclass action: two
+    ``object.__setattr__`` calls plus a ``__post_init__`` hop per
+    instance (the seed class itself predates the engine's type check)."""
+
+    __slots__ = ()
+
+    def __init__(self, round, messages=None):
+        object.__setattr__(self, "round", round)
+        object.__setattr__(self, "messages", messages)
+        self.__post_init__()
+
+    def __post_init__(self):
+        if self.round < 1:
+            raise ValueError(f"rounds are 1-indexed, got {self.round}")
+
+
+def seed_validate(adjacency, id_space):
+    """The seed ``__post_init__``: per-edge symmetry scans (O(E·deg))."""
+    for v, nbrs in adjacency.items():
+        if v in nbrs:
+            raise GraphError(f"self-loop at node {v}")
+        for u in nbrs:
+            if u not in adjacency:
+                raise GraphError(f"edge ({v}, {u}) dangles")
+            if v not in adjacency[u]:
+                raise GraphError(f"edge ({v}, {u}) is not symmetric")
+    if adjacency:
+        lo, hi = min(adjacency), max(adjacency)
+        if lo < 1 or hi > id_space:
+            raise GraphError("node IDs out of range")
+
+
+# -- workload programs -------------------------------------------------------
+
+
+def wake_program(rounds, action_cls):
+    """Staggered wake/sleep pattern, no messages: pure scheduling cost."""
+
+    def program(info):
+        r = 1 + info.id % 3
+        for _ in range(rounds):
+            yield action_cls(r)
+            r += 1 + (info.id + r) % 2
+        return None
+
+    return program
+
+
+def broadcast_program(rounds, action_cls):
+    """Lockstep broadcast every round: full delivery cost."""
+
+    def program(info):
+        for r in range(1, rounds + 1):
+            yield action_cls(r, Broadcast(info.id))
+        return None
+
+    return program
+
+
+def quiet_callbacks(rounds):
+    """Lockstep listen-only rounds (the cast/calendar idle pattern)."""
+
+    def first_messages(state):
+        return None
+
+    def on_round(state, r, inbox):
+        if r >= rounds:
+            state.finish(r)
+        return None
+
+    return first_messages, on_round
+
+
+def greedy_callbacks(graph):
+    """The shipped always-awake greedy strawman's callbacks (shared with
+    ``greedy_by_id_local`` so the baseline measures the real algorithm)."""
+    from repro.model.lockstep import greedy_by_id_callbacks
+    from repro.olocal import MaximalIndependentSet
+
+    first_messages, on_round, _ = greedy_by_id_callbacks(
+        graph, MaximalIndependentSet()
+    )
+    return first_messages, on_round
+
+
+def run_local_via_seed_stack(graph, first_messages, on_round):
+    """The seed implementation of run_local: a generator program driving
+    seed actions on the seed event loop."""
+
+    def program(info):
+        state = LocalNodeState(info=info, memory={})
+        outgoing = first_messages(state)
+        round_number = 0
+        while not state.done:
+            round_number += 1
+            inbox = yield SeedAwakeAt(round_number, outgoing)
+            outgoing = on_round(state, round_number, inbox)
+        return state.output
+
+    return ReferenceSleepingSimulator(graph, program).run()
+
+
+# -- measurement -------------------------------------------------------------
+
+
+def timed(fn, reps):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def check_identical(new, seed):
+    assert new.outputs == seed.outputs, "engine outputs diverged"
+    assert new.metrics.awake_rounds == seed.metrics.awake_rounds
+    assert new.metrics.termination_round == seed.metrics.termination_round
+    assert new.metrics.summary() == seed.metrics.summary(), (
+        new.metrics.summary(),
+        seed.metrics.summary(),
+    )
+
+
+def seed_from_edges(edges, nodes, id_space):
+    """The seed ``from_edges``: build, then per-edge revalidation."""
+    adj = {v: set() for v in nodes}
+    for u, v in edges:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    frozen = {v: tuple(sorted(nbrs)) for v, nbrs in adj.items()}
+    seed_validate(frozen, id_space)
+    return frozen
+
+
+def bench_graph(n, reps, results):
+    g = gnp(n, 8.0 / n, seed=n)
+    edges = list(g.edges())
+    nodes = range(1, n + 1)
+
+    new_g, t_new = timed(
+        lambda: StaticGraph.from_edges(edges, nodes=nodes, id_space=n), reps
+    )
+    seed_adj, t_seed = timed(lambda: seed_from_edges(edges, nodes, n), reps)
+    assert dict(new_g.adjacency) == seed_adj
+    results[f"graph_construction/n={n}"] = {
+        "new_s": t_new,
+        "seed_s": t_seed,
+        "speedup": t_seed / t_new,
+        "edges": len(edges),
+    }
+
+    # Repeated property access: the seed recomputed nodes (sort), node-set
+    # membership, max_degree and num_edges on *every* access; the index
+    # serves all four from the one-shot CSR build.
+    sweeps = 400
+    probe = n // 2
+
+    def indexed_sweep():
+        total = 0
+        for _ in range(sweeps):
+            total += len(g.nodes) + g.max_degree + g.num_edges
+            total += probe in g.node_set
+            total += len(g.neighbors(probe))
+        return total
+
+    adj = g.adjacency
+
+    def naive_sweep():
+        total = 0
+        for _ in range(sweeps):
+            nodes_sorted = tuple(sorted(adj))
+            total += len(nodes_sorted)
+            total += max(len(nbrs) for nbrs in adj.values())
+            total += sum(len(nbrs) for nbrs in adj.values()) // 2
+            total += probe in set(nodes_sorted)
+            total += len(adj[probe])
+        return total
+
+    r1, t_idx = timed(indexed_sweep, reps)
+    r2, t_naive = timed(naive_sweep, reps)
+    assert r1 == r2
+    results[f"nodes_neighbors_access/n={n}"] = {
+        "new_s": t_idx,
+        "seed_s": t_naive,
+        "speedup": t_naive / t_idx,
+    }
+
+
+def bench_sim(name, graph_factory, n, reps, results):
+    g = graph_factory(n)
+    for bench, rounds, make in (
+        ("sim_wake", 60, wake_program),
+        ("sim_broadcast", 40, broadcast_program),
+    ):
+        new_prog = make(rounds, AwakeAt)
+        seed_prog = make(rounds, SeedAwakeAt)
+        new_res, t_new = timed(lambda: SleepingSimulator(g, new_prog).run(), reps)
+        seed_res, t_seed = timed(
+            lambda: ReferenceSleepingSimulator(g, seed_prog).run(), reps
+        )
+        check_identical(new_res, seed_res)
+        node_rounds = new_res.metrics.total_awake
+        results[f"{bench}/{name}/n={n}"] = {
+            "node_rounds": node_rounds,
+            "new_per_sec": node_rounds / t_new,
+            "seed_per_sec": node_rounds / t_seed,
+            "speedup": t_seed / t_new,
+        }
+
+    for bench, callbacks in (
+        ("lockstep_quiet", lambda: quiet_callbacks(120)),
+        ("lockstep_greedy", lambda: greedy_callbacks(g)),
+    ):
+        first, on_round = callbacks()
+        new_res, t_new = timed(lambda: run_local(g, first, on_round), reps)
+        seed_res, t_seed = timed(
+            lambda: run_local_via_seed_stack(g, first, on_round), reps
+        )
+        check_identical(new_res, seed_res)
+        node_rounds = new_res.metrics.total_awake
+        results[f"{bench}/{name}/n={n}"] = {
+            "node_rounds": node_rounds,
+            "new_per_sec": node_rounds / t_new,
+            "seed_per_sec": node_rounds / t_seed,
+            "speedup": t_seed / t_new,
+        }
+
+
+FAMILIES = [
+    ("path", lambda n: path(n)),
+    ("gnp", lambda n: gnp(n, 8.0 / n, seed=1)),
+    ("ba", lambda n: preferential_attachment(n, 4, seed=2)),
+]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="n=1024, 1 rep")
+    parser.add_argument("--emit", metavar="PATH", help="write JSON results")
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="fail if any shared speedup regressed more than 2x vs PATH",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = (1024,) if args.quick else (1024, 4096)
+    reps = 1 if args.quick else 3
+    results: dict[str, dict] = {}
+
+    for n in sizes:
+        bench_graph(n, reps, results)
+        for name, factory in FAMILIES:
+            bench_sim(name, factory, n, reps, results)
+
+    width = max(len(k) for k in results)
+    print(f"{'benchmark'.ljust(width)}  {'new/s':>12}  {'seed/s':>12}  {'speedup':>8}")
+    for key in sorted(results):
+        row = results[key]
+        new = row.get("new_per_sec")
+        seed = row.get("seed_per_sec")
+        print(
+            f"{key.ljust(width)}  "
+            f"{(f'{new:,.0f}' if new else '-'):>12}  "
+            f"{(f'{seed:,.0f}' if seed else '-'):>12}  "
+            f"{row['speedup']:>7.2f}x"
+        )
+
+    payload = {
+        "config": {"sizes": list(sizes), "reps": reps, "quick": args.quick},
+        "results": results,
+    }
+    if args.emit:
+        Path(args.emit).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.emit}")
+
+    if args.check:
+        committed = json.loads(Path(args.check).read_text())["results"]
+        failures = []
+        for key, row in results.items():
+            base = committed.get(key)
+            if base is None or "speedup" not in row or "speedup" not in base:
+                continue
+            if row["speedup"] < base["speedup"] / 2:
+                failures.append(
+                    f"{key}: speedup {row['speedup']:.2f}x < "
+                    f"half of committed {base['speedup']:.2f}x"
+                )
+        if failures:
+            print("\nREGRESSIONS:\n" + "\n".join(failures))
+            return 1
+        print("\ncheck ok: no speedup regressed more than 2x vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -426,7 +426,7 @@ def _greedy_coloring(graph):
 # ---------------------------------------------------------------------------
 
 
-def experiment_e8_structure(sizes=(64, 256, 1024, 4096)) -> ExperimentResult:
+def experiment_e8_structure(sizes=(64, 256, 1024, 4096, 8192)) -> ExperimentResult:
     """Reference-scale structure check: colors used vs the 2^{O(sqrt log n)}
     bound across n (no simulation — Definition 4 validated centrally)."""
     rows = []
@@ -451,7 +451,7 @@ def experiment_e8_structure(sizes=(64, 256, 1024, 4096)) -> ExperimentResult:
     )
 
 
-def experiment_e8_distributed(sizes=(8, 16, 32, 64)) -> ExperimentResult:
+def experiment_e8_distributed(sizes=(8, 16, 32, 64, 96, 128)) -> ExperimentResult:
     """Simulated awake complexity of the pipeline vs the closed-form bound."""
     rows = []
     for n in sizes:
@@ -505,7 +505,7 @@ def experiment_e8_idspace(n: int = 12, seed: int = 9) -> ExperimentResult:
 
 
 def experiment_e9(
-    sizes=(16, 32, 64, 128), problem: Any = None
+    sizes=(16, 32, 64, 128, 256), problem: Any = None
 ) -> ExperimentResult:
     """Awake complexity scaling of both algorithms on low- and high-degree
     families. The paper's claim: for Δ = n^ε the baseline pays Θ(log n)

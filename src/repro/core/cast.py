@@ -110,9 +110,7 @@ def convergecast_labeled(
 
     # Receive the folds of all child subtrees.
     inbox = yield AwakeAt(t0 + 1 + reversed_label)
-    value = payload
-    for sender in sorted(inbox):
-        value = merge(value, inbox[sender])
+    value = _fold_sorted(payload, inbox, merge)
 
     if parent is None:
         return value
@@ -184,8 +182,7 @@ def convergecast_bfs(
     value = payload
     if receive_offset >= 0:
         inbox = yield AwakeAt(t0 + receive_offset)
-        for sender in sorted(inbox):
-            value = merge(value, inbox[sender])
+        value = _fold_sorted(value, inbox, merge)
     if parent is None:
         return value
     yield AwakeAt(t0 + depth_bound - depth, {parent: value})
@@ -223,6 +220,23 @@ def gather_bfs(
 
 
 # ---------------------------------------------------------------------------
+
+
+def _fold_sorted(
+    value: Payload,
+    inbox: dict[NodeId, Payload],
+    merge: Callable[[Payload, Payload], Payload],
+) -> Payload:
+    """Fold the inbox into ``value`` in ascending sender order; the sort
+    is skipped when at most one message arrived (the common case deep in
+    cluster trees)."""
+    if len(inbox) <= 1:
+        for payload in inbox.values():
+            value = merge(value, payload)
+        return value
+    for sender in sorted(inbox):
+        value = merge(value, inbox[sender])
+    return value
 
 
 def _check_label(label: int, bound: int) -> None:

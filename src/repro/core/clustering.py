@@ -108,11 +108,11 @@ class UniquelyLabeledBFSClustering:
     def validate(self, graph: StaticGraph) -> None:
         """Check Definition 2 exactly; raise ClusteringError on violation."""
         covered = set(self.label)
-        if covered != set(graph.nodes):
+        if covered != graph.node_set:
             raise ClusteringError(
                 "labeling does not cover exactly the node set "
-                f"(missing {len(set(graph.nodes) - covered)}, "
-                f"extra {len(covered - set(graph.nodes))})"
+                f"(missing {len(graph.node_set - covered)}, "
+                f"extra {len(covered - graph.node_set)})"
             )
         if set(self.dist) != covered:
             raise ClusteringError("dist does not cover exactly the node set")
@@ -197,7 +197,7 @@ class ColoredBFSClustering:
     def validate(self, graph: StaticGraph) -> None:
         """Check Definition 4 exactly; raise ClusteringError on violation."""
         covered = set(self.color)
-        if covered != set(graph.nodes):
+        if covered != graph.node_set:
             raise ClusteringError("coloring does not cover exactly the node set")
         if set(self.dist) != covered:
             raise ClusteringError("dist does not cover exactly the node set")

@@ -362,7 +362,11 @@ def lemma15_reference(graph: StaticGraph, b: int) -> Lemma15Reference:
     d2_degree = distance2_conflict_degree(n)
     k = distance2_palette(n, id_space)
 
-    c0 = _reference_distance2_coloring(graph, d2_degree)
+    # The distance-2 balls are the hot data of the whole phase: compute
+    # them once and share across the coloring iterations and parent rule.
+    two_hop = {v: graph.distance_2_neighbors(v) for v in graph.nodes}
+
+    c0 = _reference_distance2_coloring(graph, d2_degree, two_hop)
     c1 = {
         v: (c0[v] + 1) + k if graph.degree(v) <= b else (c0[v] + 1)
         for v in graph.nodes
@@ -372,7 +376,7 @@ def lemma15_reference(graph: StaticGraph, b: int) -> Lemma15Reference:
     shift: dict[NodeId, int | None] = {}
     for v in graph.nodes:
         nbr = {u: c1[u] for u in graph.neighbors(v)}
-        two = {u: c1[u] for u in graph.distance_2_neighbors(v)}
+        two = {u: c1[u] for u in two_hop[v]}
         p1[v], shift[v] = _select_p1(v, c1[v], nbr, two)
 
     c2: dict[NodeId, int] = {}
@@ -444,12 +448,17 @@ def lemma15_reference(graph: StaticGraph, b: int) -> Lemma15Reference:
 
 
 def _reference_distance2_coloring(
-    graph: StaticGraph, conflict_degree: int
+    graph: StaticGraph,
+    conflict_degree: int,
+    two_hop: Mapping[NodeId, tuple[NodeId, ...]] | None = None,
 ) -> dict[NodeId, int]:
     """Replays the distributed Linial distance-2 reduction centrally
     (identical (d, q) schedule and evaluation-point choices)."""
     from repro.core.linial import _reduce_one, step_parameters
 
+    if two_hop is None:
+        two_hop = {v: graph.distance_2_neighbors(v) for v in graph.nodes}
+    ball = {v: graph.neighbors(v) + two_hop[v] for v in graph.nodes}
     colors = {v: v - 1 for v in graph.nodes}
     k = graph.id_space
     while True:
@@ -459,10 +468,7 @@ def _reference_distance2_coloring(
         d, q = params
         new = {}
         for v in graph.nodes:
-            conflicts = {
-                colors[u]
-                for u in graph.neighbors(v) + graph.distance_2_neighbors(v)
-            }
+            conflicts = {colors[u] for u in ball[v]}
             new[v] = _reduce_one(v, colors[v], conflicts, d, q)
         colors = new
         k = q * q
@@ -474,6 +480,11 @@ def _reference_u_coloring(
     """Replays Linial's distance-1 reduction on G[U] centrally."""
     from repro.core.linial import _reduce_one, step_parameters
 
+    members = sorted(u_nodes)
+    u_nbrs = {
+        v: tuple(u for u in graph.neighbors(v) if u in u_nodes)
+        for v in members
+    }
     colors = {v: v - 1 for v in u_nodes}
     k = graph.id_space
     while True:
@@ -482,10 +493,8 @@ def _reference_u_coloring(
             return colors
         d, q = params
         new = {}
-        for v in sorted(u_nodes):
-            conflicts = {
-                colors[u] for u in graph.neighbors(v) if u in u_nodes
-            }
+        for v in members:
+            conflicts = {colors[u] for u in u_nbrs[v]}
             new[v] = _reduce_one(v, colors[v], conflicts, d, q)
         colors = new
         k = q * q

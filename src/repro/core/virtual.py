@@ -151,9 +151,10 @@ def run_on_virtual_graph(
         {me: contribution},
         frozenset(foreign_label.values()),
     )
+    intra_sorted = tuple(sorted(intra))
     merged = yield from gather_bfs(
         me,
-        tuple(sorted(intra)),
+        intra_sorted,
         parent,
         delta,
         n,
@@ -201,7 +202,7 @@ def run_on_virtual_graph(
 
         vinbox = yield from gather_bfs(
             me,
-            tuple(sorted(intra)),
+            intra_sorted,
             parent,
             delta,
             n,

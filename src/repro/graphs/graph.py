@@ -3,12 +3,18 @@
 Nodes are addressed *by their LOCAL-model identifier*, not by position:
 every algorithm in the paper manipulates IDs, so making the ID the node
 key removes an entire class of off-by-one translation bugs.
+
+Hot-path queries (``nodes``, ``degree``, ``max_degree``, ``num_edges``,
+BFS, components, ``distance_2_neighbors``) are served by a CSR-style
+index — a contiguous neighbor-slot array plus per-node offsets and dense
+id↔slot maps — built lazily, exactly once, and cached on the frozen
+instance. The index layout is documented in PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 import networkx as nx
@@ -16,6 +22,81 @@ import networkx as nx
 from repro.errors import GraphError
 from repro.types import NodeId
 from repro.util.idspace import IdAssignment, identity_ids
+
+
+class _GraphIndex:
+    """The CSR-style fast-path index of a :class:`StaticGraph`.
+
+    Attributes:
+        nodes: all node IDs, ascending (slot ``i`` holds ``nodes[i]``).
+        node_set: the same IDs as a frozenset (O(1) membership).
+        slot_of: dense ID → slot map.
+        offsets: ``offsets[i]:offsets[i+1]`` delimits slot i's neighbors
+            inside ``flat_slots`` (CSR row pointers).
+        flat_slots: contiguous neighbor *slots*, in the adjacency's stored
+            neighbor order (preserves iteration order bit-for-bit).
+        degrees: per-slot degree.
+        max_degree / num_edges: aggregated once at build time.
+    """
+
+    __slots__ = (
+        "nodes",
+        "node_set",
+        "slot_of",
+        "offsets",
+        "flat_slots",
+        "degrees",
+        "max_degree",
+        "num_edges",
+    )
+
+    def __init__(self, adjacency: Mapping[NodeId, tuple[NodeId, ...]]) -> None:
+        nodes = tuple(sorted(adjacency))
+        slot_of = {v: i for i, v in enumerate(nodes)}
+        offsets = [0] * (len(nodes) + 1)
+        flat_slots: list[int] = []
+        degrees = [0] * len(nodes)
+        append = flat_slots.append
+        total = 0
+        for i, v in enumerate(nodes):
+            nbrs = adjacency[v]
+            degrees[i] = len(nbrs)
+            total += len(nbrs)
+            offsets[i + 1] = total
+            for u in nbrs:
+                append(slot_of[u])
+        self.nodes = nodes
+        self.node_set = frozenset(nodes)
+        self.slot_of = slot_of
+        self.offsets = offsets
+        self.flat_slots = flat_slots
+        self.degrees = degrees
+        self.max_degree = max(degrees, default=0)
+        self.num_edges = total // 2
+
+
+def _validate_adjacency(
+    adjacency: Mapping[NodeId, tuple[NodeId, ...]], id_space: int
+) -> None:
+    """One-shot O(V + E) validation of a hand-built adjacency."""
+    directed: set[tuple[NodeId, NodeId]] = set()
+    for v, nbrs in adjacency.items():
+        for u in nbrs:
+            if u == v:
+                raise GraphError(f"self-loop at node {v}")
+            if u not in adjacency:
+                raise GraphError(f"edge ({v}, {u}) dangles: {u} missing")
+            directed.add((v, u))
+    for v, u in directed:
+        if (u, v) not in directed:
+            raise GraphError(f"edge ({v}, {u}) is not symmetric")
+    if adjacency:
+        lo, hi = min(adjacency), max(adjacency)
+        if lo < 1 or hi > id_space:
+            raise GraphError(
+                f"node IDs must lie in [1, {id_space}], "
+                f"got range [{lo}, {hi}]"
+            )
 
 
 @dataclass(frozen=True)
@@ -30,28 +111,31 @@ class StaticGraph:
 
     adjacency: Mapping[NodeId, tuple[NodeId, ...]]
     id_space: int
-    _degrees: dict[NodeId, int] = field(
-        default_factory=dict, repr=False, compare=False
-    )
 
     def __post_init__(self) -> None:
-        for v, nbrs in self.adjacency.items():
-            if v in nbrs:
-                raise GraphError(f"self-loop at node {v}")
-            for u in nbrs:
-                if u not in self.adjacency:
-                    raise GraphError(f"edge ({v}, {u}) dangles: {u} missing")
-                if v not in self.adjacency[u]:
-                    raise GraphError(f"edge ({v}, {u}) is not symmetric")
-        if self.adjacency:
-            lo, hi = min(self.adjacency), max(self.adjacency)
-            if lo < 1 or hi > self.id_space:
-                raise GraphError(
-                    f"node IDs must lie in [1, {self.id_space}], "
-                    f"got range [{lo}, {hi}]"
-                )
+        _validate_adjacency(self.adjacency, self.id_space)
 
     # -- construction -----------------------------------------------------
+
+    @classmethod
+    def _trusted(
+        cls,
+        adjacency: Mapping[NodeId, tuple[NodeId, ...]],
+        id_space: int,
+    ) -> "StaticGraph":
+        """Wrap an adjacency known-correct by construction (no re-check)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "adjacency", adjacency)
+        object.__setattr__(self, "id_space", id_space)
+        return self
+
+    @property
+    def _index(self) -> _GraphIndex:
+        index = self.__dict__.get("_index_cache")
+        if index is None:
+            index = _GraphIndex(self.adjacency)
+            object.__setattr__(self, "_index_cache", index)
+        return index
 
     @staticmethod
     def from_edges(
@@ -68,7 +152,16 @@ class StaticGraph:
             adj.setdefault(v, set()).add(u)
         frozen = {v: tuple(sorted(nbrs)) for v, nbrs in adj.items()}
         space = id_space if id_space is not None else (max(adj) if adj else 1)
-        return StaticGraph(frozen, id_space=space)
+        if adj:
+            lo, hi = min(adj), max(adj)
+            if lo < 1 or hi > space:
+                raise GraphError(
+                    f"node IDs must lie in [1, {space}], "
+                    f"got range [{lo}, {hi}]"
+                )
+        graph = StaticGraph._trusted(frozen, space)
+        graph._index  # symmetric by construction; index built eagerly
+        return graph
 
     @staticmethod
     def from_networkx(
@@ -106,10 +199,15 @@ class StaticGraph:
 
     @property
     def nodes(self) -> tuple[NodeId, ...]:
-        return tuple(sorted(self.adjacency))
+        return self._index.nodes
+
+    @property
+    def node_set(self) -> frozenset[NodeId]:
+        """All node IDs as a frozenset (O(1) after the first access)."""
+        return self._index.node_set
 
     def __iter__(self) -> Iterator[NodeId]:
-        return iter(self.nodes)
+        return iter(self._index.nodes)
 
     def __contains__(self, v: NodeId) -> bool:
         return v in self.adjacency
@@ -122,17 +220,18 @@ class StaticGraph:
 
     @property
     def max_degree(self) -> int:
-        if not self.adjacency:
-            return 0
-        return max(len(nbrs) for nbrs in self.adjacency.values())
+        return self._index.max_degree
 
     @property
     def num_edges(self) -> int:
-        return sum(len(nbrs) for nbrs in self.adjacency.values()) // 2
+        return self._index.num_edges
 
     def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
-        for v, nbrs in sorted(self.adjacency.items()):
-            for u in nbrs:
+        index = self._index
+        nodes, offsets, flat = index.nodes, index.offsets, index.flat_slots
+        for i, v in enumerate(nodes):
+            for j in range(offsets[i], offsets[i + 1]):
+                u = nodes[flat[j]]
                 if u > v:
                     yield (v, u)
 
@@ -142,51 +241,83 @@ class StaticGraph:
     def is_connected(self) -> bool:
         if self.n == 0:
             return True
-        start = next(iter(self.adjacency))
-        return len(self._component(start)) == self.n
+        index = self._index
+        return len(self._component_slots(index, 0)) == self.n
 
     def connected_components(self) -> list[frozenset[NodeId]]:
-        seen: set[NodeId] = set()
+        index = self._index
+        nodes = index.nodes
+        seen = bytearray(len(nodes))
         components = []
-        for v in self.nodes:
-            if v not in seen:
-                comp = self._component(v)
-                seen |= comp
-                components.append(frozenset(comp))
+        for s in range(len(nodes)):
+            if not seen[s]:
+                comp = self._component_slots(index, s)
+                for t in comp:
+                    seen[t] = 1
+                components.append(frozenset(nodes[t] for t in comp))
         return components
 
     def _component(self, start: NodeId) -> set[NodeId]:
-        seen = {start}
-        queue = deque([start])
+        index = self._index
+        comp = self._component_slots(index, index.slot_of[start])
+        return {index.nodes[t] for t in comp}
+
+    @staticmethod
+    def _component_slots(index: _GraphIndex, start: int) -> list[int]:
+        offsets, flat = index.offsets, index.flat_slots
+        seen = bytearray(len(index.nodes))
+        seen[start] = 1
+        comp = [start]
+        queue = deque(comp)
         while queue:
-            v = queue.popleft()
-            for u in self.adjacency[v]:
-                if u not in seen:
-                    seen.add(u)
-                    queue.append(u)
-        return seen
+            s = queue.popleft()
+            for j in range(offsets[s], offsets[s + 1]):
+                t = flat[j]
+                if not seen[t]:
+                    seen[t] = 1
+                    comp.append(t)
+                    queue.append(t)
+        return comp
 
     def bfs_distances(self, source: NodeId) -> dict[NodeId, int]:
         """Distances from ``source`` to every reachable node."""
+        index = self._index
+        nodes, offsets, flat = index.nodes, index.offsets, index.flat_slots
+        start = index.slot_of[source]
+        dist_by_slot = [-1] * len(nodes)
+        dist_by_slot[start] = 0
         dist = {source: 0}
-        queue = deque([source])
+        queue = deque((start,))
         while queue:
-            v = queue.popleft()
-            for u in self.adjacency[v]:
-                if u not in dist:
-                    dist[u] = dist[v] + 1
-                    queue.append(u)
+            s = queue.popleft()
+            d = dist_by_slot[s] + 1
+            for j in range(offsets[s], offsets[s + 1]):
+                t = flat[j]
+                if dist_by_slot[t] < 0:
+                    dist_by_slot[t] = d
+                    dist[nodes[t]] = d
+                    queue.append(t)
         return dist
 
     def distance_2_neighbors(self, v: NodeId) -> tuple[NodeId, ...]:
         """Nodes at distance exactly 2 from ``v`` (the paper's N²(v))."""
-        direct = set(self.adjacency[v])
-        two_hop: set[NodeId] = set()
-        for u in direct:
-            two_hop.update(self.adjacency[u])
-        two_hop -= direct
-        two_hop.discard(v)
-        return tuple(sorted(two_hop))
+        index = self._index
+        nodes, offsets, flat = index.nodes, index.offsets, index.flat_slots
+        s = index.slot_of[v]
+        mark = bytearray(len(nodes))
+        mark[s] = 1
+        direct = flat[offsets[s] : offsets[s + 1]]
+        for t in direct:
+            mark[t] = 1
+        two_hop: list[int] = []
+        for t in direct:
+            for j in range(offsets[t], offsets[t + 1]):
+                w = flat[j]
+                if not mark[w]:
+                    mark[w] = 1
+                    two_hop.append(w)
+        two_hop.sort()
+        return tuple(nodes[t] for t in two_hop)
 
 
 def _stable_sorted(nodes: Iterable) -> list:

@@ -10,25 +10,43 @@ def graph_square(graph: StaticGraph) -> StaticGraph:
     """The square G²: same nodes, edges between nodes at distance <= 2.
 
     Lemma 15's first step computes a proper coloring of G², i.e. a
-    distance-2 coloring of G.
+    distance-2 coloring of G. Built from the CSR index in one pass per
+    node; the result is symmetric by construction, so it skips
+    re-validation.
     """
-    adj: dict[NodeId, set[NodeId]] = {v: set() for v in graph.nodes}
-    for v in graph.nodes:
-        direct = graph.neighbors(v)
-        adj[v].update(direct)
-        for u in direct:
-            adj[v].update(w for w in graph.neighbors(u) if w != v)
-    frozen = {v: tuple(sorted(nbrs)) for v, nbrs in adj.items()}
-    return StaticGraph(frozen, id_space=graph.id_space)
+    index = graph._index
+    nodes, offsets, flat = index.nodes, index.offsets, index.flat_slots
+    mark = bytearray(len(nodes))
+    adj: dict[NodeId, tuple[NodeId, ...]] = {}
+    for s, v in enumerate(nodes):
+        mark[s] = 1
+        ball: list[int] = []
+        for j in range(offsets[s], offsets[s + 1]):
+            t = flat[j]
+            if not mark[t]:
+                mark[t] = 1
+                ball.append(t)
+        for t in tuple(ball):
+            for j in range(offsets[t], offsets[t + 1]):
+                w = flat[j]
+                if not mark[w]:
+                    mark[w] = 1
+                    ball.append(w)
+        ball.sort()
+        adj[v] = tuple(nodes[t] for t in ball)
+        mark[s] = 0
+        for t in ball:
+            mark[t] = 0
+    return StaticGraph._trusted(adj, graph.id_space)
 
 
 def induced_subgraph(graph: StaticGraph, nodes: set[NodeId]) -> StaticGraph:
     """The subgraph of G induced by ``nodes`` (IDs preserved)."""
-    missing = nodes - set(graph.adjacency)
+    missing = nodes - graph.node_set
     if missing:
         raise KeyError(f"nodes not in graph: {sorted(missing)[:5]}")
     adj = {
         v: tuple(u for u in graph.neighbors(v) if u in nodes)
         for v in sorted(nodes)
     }
-    return StaticGraph(adj, id_space=graph.id_space)
+    return StaticGraph._trusted(adj, graph.id_space)

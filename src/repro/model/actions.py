@@ -1,25 +1,43 @@
-"""Actions a node program can yield to the Sleeping-model runtime."""
+"""Actions a node program can yield to the Sleeping-model runtime.
+
+Both action types are plain ``__slots__`` classes rather than dataclasses:
+programs construct one per awake round, so construction cost is on the
+simulator's hottest path (a frozen dataclass pays ~3x per instance for
+``object.__setattr__``). Treat instances as immutable — the runtime reads
+them after the yielding program has resumed.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Mapping, Union
 
 from repro.types import NodeId, Payload
 
 
-@dataclass(frozen=True)
 class Broadcast:
     """Send the same payload to every neighbor (LOCAL-style broadcast)."""
 
-    payload: Payload
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Payload) -> None:
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Broadcast(payload={self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Broadcast):
+            return NotImplemented
+        return self.payload == other.payload
+
+    def __hash__(self) -> int:
+        return hash((self.payload,))
 
 
 #: Either an explicit per-neighbor message map or a broadcast.
 Outgoing = Union[Mapping[NodeId, Payload], Broadcast, None]
 
 
-@dataclass(frozen=True)
 class AwakeAt:
     """Sleep until ``round`` (exclusive), be awake during it, send
     ``messages``, and receive the inbox for that round.
@@ -29,9 +47,23 @@ class AwakeAt:
     awake in consecutive rounds means yielding consecutive ``AwakeAt``).
     """
 
-    round: int
-    messages: Outgoing = None
+    __slots__ = ("round", "messages")
 
-    def __post_init__(self) -> None:
-        if self.round < 1:
-            raise ValueError(f"rounds are 1-indexed, got {self.round}")
+    def __init__(self, round: int, messages: Outgoing = None) -> None:
+        if round < 1:
+            raise ValueError(f"rounds are 1-indexed, got {round}")
+        self.round = round
+        self.messages = messages
+
+    def __repr__(self) -> str:
+        return f"AwakeAt(round={self.round!r}, messages={self.messages!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AwakeAt):
+            return NotImplemented
+        return self.round == other.round and self.messages == other.messages
+
+    def __hash__(self) -> int:
+        # Matches the old frozen-dataclass semantics: hashable whenever the
+        # fields are (dict messages raise TypeError, as before).
+        return hash((self.round, self.messages))

@@ -2,9 +2,18 @@
 
 A LOCAL algorithm is a Sleeping algorithm that never sleeps: awake
 complexity = round complexity. This adapter runs round-callback algorithms
-(the textbook LOCAL style) on the same simulator, giving the "no sleeping"
+(the textbook LOCAL style) on the same semantics, giving the "no sleeping"
 strawman used in comparisons and a convenient way to port classic
 algorithms.
+
+Because a lockstep execution has *every* node awake in *every* round, the
+adapter ships its own *native* engine: a plain round loop over the live
+nodes with no generators, no :class:`AwakeAt` allocations and no wake
+queue — the extreme case of the simulator's lockstep fast path. The
+generator-based route through :class:`SleepingSimulator` is kept (pass
+``engine="simulator"``) and the differential tests in
+``tests/test_engine_equivalence.py`` assert both produce bit-identical
+outputs and metrics.
 """
 
 from __future__ import annotations
@@ -12,9 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
+from repro.errors import SimulationError
 from repro.graphs.graph import StaticGraph
-from repro.model.actions import AwakeAt
+from repro.model.actions import AwakeAt, Broadcast
 from repro.model.api import NodeInfo
+from repro.model.metrics import SimulationMetrics
 from repro.model.simulator import SimulationResult, SleepingSimulator
 from repro.types import NodeId, Payload
 
@@ -34,8 +45,8 @@ class LocalNodeState:
 
 
 #: round callback: (state, round_number, inbox) -> messages to send next
-#: round (dict neighbor -> payload, or None). Call ``state.finish(out)``
-#: to terminate after the current round.
+#: round (dict neighbor -> payload, Broadcast, or None). Call
+#: ``state.finish(out)`` to terminate after the current round.
 RoundFn = Callable[[LocalNodeState, int, dict[NodeId, Payload]], Any]
 
 
@@ -45,13 +56,132 @@ def run_local(
     on_round: RoundFn,
     inputs: Mapping[NodeId, Any] | None = None,
     max_rounds: int = 10_000,
+    engine: str = "native",
 ) -> SimulationResult:
     """Run a lockstep LOCAL algorithm until every node finishes.
 
     ``first_messages(state)`` produces round 1's outgoing messages;
     ``on_round(state, r, inbox)`` consumes round r's inbox and returns the
     messages for round r+1 (ignored once the node finished).
+
+    ``engine="native"`` (default) runs the dedicated lockstep loop;
+    ``engine="simulator"`` routes through :class:`SleepingSimulator` via a
+    generator program — identical semantics, kept for differential testing.
     """
+    if engine == "simulator":
+        return _run_local_via_simulator(
+            graph, first_messages, on_round, inputs, max_rounds
+        )
+    if engine != "native":
+        raise ValueError(f"unknown engine {engine!r}")
+
+    inputs = dict(inputs) if inputs else {}
+    metrics = SimulationMetrics()
+    awake_rounds = metrics.awake_rounds
+    termination_round = metrics.termination_round
+    outputs: dict[NodeId, Any] = {}
+    states: dict[NodeId, LocalNodeState] = {}
+    outgoing: dict[NodeId, Any] = {}
+    neighbors = graph.neighbors
+    messages_sent = 0
+
+    for v in graph.nodes:
+        info = NodeInfo(
+            id=v,
+            n=graph.n,
+            id_space=graph.id_space,
+            neighbors=neighbors(v),
+            input=inputs.get(v),
+        )
+        state = LocalNodeState(info=info, memory={})
+        out = first_messages(state)
+        if state.done:
+            outputs[v] = state.output
+            termination_round[v] = 0
+            awake_rounds.setdefault(v, 0)
+            continue
+        states[v] = state
+        outgoing[v] = out
+
+    active = list(states)  # graph.nodes order: ascending
+    nbr_sets: dict[NodeId, frozenset[NodeId]] = {}
+    inboxes: dict[NodeId, dict[NodeId, Payload]] = {}
+    round_number = 0
+    while active:
+        round_number += 1
+        if round_number > max_rounds:
+            raise RuntimeError(
+                f"node {active[0]}: LOCAL algorithm exceeded "
+                f"{max_rounds} rounds"
+            )
+        metrics.active_rounds += 1
+
+        # Phase 1: every live node is awake — deliver to live targets only.
+        inboxes.clear()
+        for v in active:
+            messages = outgoing[v]
+            if messages is None:
+                continue
+            if isinstance(messages, Broadcast):
+                nbrs = neighbors(v)
+                messages_sent += len(nbrs)
+                payload = messages.payload
+                for target in nbrs:
+                    if target in states:
+                        box = inboxes.get(target)
+                        if box is None:
+                            inboxes[target] = {v: payload}
+                        else:
+                            box[v] = payload
+            else:
+                nbr_set = nbr_sets.get(v)
+                if nbr_set is None:
+                    nbr_set = nbr_sets[v] = frozenset(neighbors(v))
+                messages_sent += len(messages)
+                for target, payload in messages.items():
+                    if target not in nbr_set:
+                        raise SimulationError(
+                            f"node {v} tried to send to non-neighbor "
+                            f"{target}"
+                        )
+                    if target in states:
+                        box = inboxes.get(target)
+                        if box is None:
+                            inboxes[target] = {v: payload}
+                        else:
+                            box[v] = payload
+
+        # Phase 2: advance every node; drop the finished ones.
+        finished_any = False
+        for v in active:
+            awake_rounds[v] = awake_rounds.get(v, 0) + 1
+            state = states[v]
+            out = on_round(state, round_number, inboxes.get(v) or {})
+            if state.done:
+                outputs[v] = state.output
+                termination_round[v] = round_number
+                del states[v]
+                del outgoing[v]
+                finished_any = True
+            else:
+                outgoing[v] = out
+        if finished_any:
+            active = [v for v in active if v in states]
+
+    metrics.messages_sent = messages_sent
+    metrics.last_round = round_number
+    return SimulationResult(outputs=outputs, metrics=metrics, graph=graph)
+
+
+def _run_local_via_simulator(
+    graph: StaticGraph,
+    first_messages: Callable[[LocalNodeState], Any],
+    on_round: RoundFn,
+    inputs: Mapping[NodeId, Any] | None,
+    max_rounds: int,
+) -> SimulationResult:
+    """The generator-program route (reference semantics for the native
+    engine above)."""
 
     def program(info: NodeInfo):
         state = LocalNodeState(info=info, memory={})
@@ -71,18 +201,18 @@ def run_local(
     return SleepingSimulator(graph, program, inputs=inputs).run()
 
 
-def greedy_by_id_local(graph: StaticGraph, problem, inputs=None) -> SimulationResult:
-    """The textbook always-awake greedy: node v decides once all
-    smaller-ID neighbors have, re-broadcasting its (possibly undecided)
-    output every round. Awake complexity Θ(longest increasing-ID path) —
-    the strawman that motivates the Sleeping model."""
+def greedy_by_id_callbacks(graph: StaticGraph, problem, inputs=None):
+    """Build the (first_messages, on_round, node_inputs) triple of the
+    always-awake greedy strawman — shared by :func:`greedy_by_id_local`
+    and the engine benchmark so the regression baseline always measures
+    the shipped algorithm."""
     from repro.olocal.problem import NodeView
 
     node_inputs = inputs if inputs is not None else problem.make_inputs(graph)
 
     def first_messages(state):
         state.memory["decided"] = {}
-        return {u: None for u in state.info.neighbors}
+        return Broadcast(None)
 
     def on_round(state, round_number, inbox):
         info = state.info
@@ -111,6 +241,17 @@ def greedy_by_id_local(graph: StaticGraph, problem, inputs=None) -> SimulationRe
             if not larger_pending:
                 state.finish(state.output)
         state.memory["announced"] = state.output is not None
-        return {u: state.output for u in info.neighbors}
+        return Broadcast(state.output)
 
+    return first_messages, on_round, node_inputs
+
+
+def greedy_by_id_local(graph: StaticGraph, problem, inputs=None) -> SimulationResult:
+    """The textbook always-awake greedy: node v decides once all
+    smaller-ID neighbors have, re-broadcasting its (possibly undecided)
+    output every round. Awake complexity Θ(longest increasing-ID path) —
+    the strawman that motivates the Sleeping model."""
+    first_messages, on_round, node_inputs = greedy_by_id_callbacks(
+        graph, problem, inputs
+    )
     return run_local(graph, first_messages, on_round, inputs=node_inputs)

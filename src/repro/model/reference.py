@@ -1,0 +1,119 @@
+"""The pre-optimization (seed) event loop, kept as a reference oracle.
+
+This is the original ``SleepingSimulator.run`` verbatim: one heap entry
+per node per wake-up, eagerly allocated inboxes, and messages expanded
+through :func:`repro.model.simulator._expand_outgoing`. It exists for two
+reasons:
+
+- **differential testing** — ``tests/test_engine_equivalence.py`` runs
+  both loops on seeded random graphs and asserts outputs and metrics
+  (awake/round complexity, messages_sent, per-node accounting) are
+  bit-identical;
+- **benchmarking** — ``benchmarks/bench_engine.py`` measures the
+  fast-path speedup against this loop on the same machine, which makes
+  the committed speedup ratios hardware-independent.
+
+Do not use it in algorithms; it is O(log n) per node wake-up where the
+main loop is O(1) amortized.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.model.actions import AwakeAt
+from repro.model.api import NodeInfo
+from repro.model.metrics import SimulationMetrics, payload_weight
+from repro.model.simulator import (
+    SimulationResult,
+    SleepingSimulator,
+    _check_action,
+    _expand_outgoing,
+)
+from repro.types import NodeId, Payload
+
+
+class ReferenceSleepingSimulator(SleepingSimulator):
+    """The seed implementation of the Sleeping-LOCAL event loop."""
+
+    def run(self) -> SimulationResult:
+        graph = self._graph
+        metrics = SimulationMetrics()
+        outputs: dict[NodeId, Any] = {}
+        generators: dict[NodeId, Generator] = {}
+        pending: dict[NodeId, AwakeAt] = {}
+        heap: list[tuple[int, NodeId]] = []
+
+        for v in graph.nodes:
+            info = NodeInfo(
+                id=v,
+                n=graph.n,
+                id_space=graph.id_space,
+                neighbors=graph.neighbors(v),
+                input=self._inputs.get(v),
+            )
+            gen = self._program(info)
+            try:
+                action = next(gen)
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                metrics.termination_round[v] = 0
+                metrics.awake_rounds.setdefault(v, 0)
+                continue
+            _check_action(v, action, previous_round=0)
+            generators[v] = gen
+            pending[v] = action
+            heapq.heappush(heap, (action.round, v))
+
+        while heap:
+            current_round = heap[0][0]
+            awake: list[NodeId] = []
+            while heap and heap[0][0] == current_round:
+                _, v = heapq.heappop(heap)
+                awake.append(v)
+            awake.sort()
+            awake_set = set(awake)
+            metrics.active_rounds += 1
+            metrics.last_round = current_round
+
+            # Phase 1: collect outgoing messages of all awake nodes.
+            inboxes: dict[NodeId, dict[NodeId, Payload]] = {v: {} for v in awake}
+            for v in awake:
+                outgoing = _expand_outgoing(v, pending[v].messages, graph)
+                metrics.messages_sent += len(outgoing)
+                for target, payload in outgoing.items():
+                    if self._measure_sizes:
+                        metrics.charge_message_weight(payload_weight(payload))
+                    # Delivery only if the target is awake *this* round.
+                    if target in awake_set:
+                        inboxes[target][v] = payload
+
+            # Phase 2: advance every awake node with its inbox.
+            for v in awake:
+                metrics.charge_awake(v)
+                if metrics.awake_rounds[v] > self._max_awake_each:
+                    raise SimulationError(
+                        f"node {v} exceeded {self._max_awake_each} awake "
+                        f"rounds at round {current_round}; runaway protocol?"
+                    )
+                gen = generators[v]
+                try:
+                    action = gen.send(inboxes[v])
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    metrics.termination_round[v] = current_round
+                    del generators[v]
+                    del pending[v]
+                    continue
+                _check_action(v, action, previous_round=current_round)
+                pending[v] = action
+                heapq.heappush(heap, (action.round, v))
+
+        missing = set(graph.nodes) - set(outputs)
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} nodes never terminated: {sorted(missing)[:5]}"
+            )
+        return SimulationResult(outputs=outputs, metrics=metrics, graph=graph)

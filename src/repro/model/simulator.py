@@ -13,6 +13,25 @@ Faithfulness to §2.1 of the paper:
 The simulator skips rounds in which every node sleeps, keeping the *round
 counter* exact, so executions with round complexity Θ(n^5) complete in time
 proportional to the number of awake node-rounds.
+
+Event-loop engineering (PERFORMANCE.md has the measurements):
+
+- the wake queue is **round-bucketed**: a ``{round: [(node, action)]}``
+  map plus a heap of *distinct* rounds, so scheduling a wake-up is O(1)
+  amortized instead of one heap operation per node per round;
+- a **lockstep carry** fast path: when every live node is awake in round
+  r and asks to wake in round r+1, the next round's awake list is carried
+  over directly and the wake queue is not touched at all;
+- **zero-copy broadcasts**: a ``Broadcast`` payload is delivered straight
+  from the action to co-awake neighbors without materializing the
+  per-neighbor message dict;
+- **lazy inboxes**: an inbox dict is allocated only for nodes that
+  actually receive a message this round (pure wake/sleep phases allocate
+  nothing); outer scratch structures are reused across rounds.
+
+The pre-optimization event loop is preserved verbatim in
+:mod:`repro.model.reference` and the differential tests in
+``tests/test_engine_equivalence.py`` assert bit-identical metrics.
 """
 
 from __future__ import annotations
@@ -72,15 +91,17 @@ class SleepingSimulator:
         metrics = SimulationMetrics()
         outputs: dict[NodeId, Any] = {}
         generators: dict[NodeId, Generator] = {}
-        pending: dict[NodeId, AwakeAt] = {}
-        heap: list[tuple[int, NodeId]] = []
+        #: round -> [(node, pending action)], plus a heap of distinct rounds.
+        buckets: dict[int, list[tuple[NodeId, AwakeAt]]] = {}
+        rounds_heap: list[int] = []
+        neighbors = graph.neighbors
 
         for v in graph.nodes:
             info = NodeInfo(
                 id=v,
                 n=graph.n,
                 id_space=graph.id_space,
-                neighbors=graph.neighbors(v),
+                neighbors=neighbors(v),
                 input=self._inputs.get(v),
             )
             gen = self._program(info)
@@ -93,55 +114,146 @@ class SleepingSimulator:
                 continue
             _check_action(v, action, previous_round=0)
             generators[v] = gen
-            pending[v] = action
-            heapq.heappush(heap, (action.round, v))
+            bucket = buckets.get(action.round)
+            if bucket is None:
+                buckets[action.round] = [(v, action)]
+                heapq.heappush(rounds_heap, action.round)
+            else:
+                bucket.append((v, action))
 
-        while heap:
-            current_round = heap[0][0]
-            awake: list[NodeId] = []
-            while heap and heap[0][0] == current_round:
-                _, v = heapq.heappop(heap)
-                awake.append(v)
-            awake.sort()
-            awake_set = set(awake)
-            metrics.active_rounds += 1
-            metrics.last_round = current_round
+        awake_rounds = metrics.awake_rounds
+        termination_round = metrics.termination_round
+        max_awake = self._max_awake_each
+        measure_sizes = self._measure_sizes
+        messages_sent = 0
+        active_rounds = 0
+        current_round = 0
+        #: outer scratch reused across rounds; the per-node inner dicts are
+        #: handed to programs (which may retain them) and stay fresh.
+        inboxes: dict[NodeId, dict[NodeId, Payload]] = {}
+        nbr_sets: dict[NodeId, frozenset[NodeId]] = {}
+        carry: list[tuple[NodeId, AwakeAt]] | None = None
 
-            # Phase 1: collect outgoing messages of all awake nodes.
-            inboxes: dict[NodeId, dict[NodeId, Payload]] = {v: {} for v in awake}
-            for v in awake:
-                outgoing = _expand_outgoing(v, pending[v].messages, graph)
-                metrics.messages_sent += len(outgoing)
-                for target, payload in outgoing.items():
-                    if self._measure_sizes:
-                        metrics.charge_message_weight(payload_weight(payload))
-                    # Delivery only if the target is awake *this* round.
-                    if target in awake_set:
-                        inboxes[target][v] = payload
+        while rounds_heap or carry is not None:
+            if carry is not None:
+                awake = carry
+                carry = None
+                current_round += 1
+            else:
+                current_round = heapq.heappop(rounds_heap)
+                awake = buckets.pop(current_round)
+                awake.sort()
+            active_rounds += 1
+
+            # Phase 1: deliver messages between co-awake neighbors.
+            inboxes.clear()
+            awake_set: set[NodeId] | None = None
+            for v, action in awake:
+                messages = action.messages
+                if messages is None:
+                    continue
+                if awake_set is None:
+                    awake_set = {node for node, _ in awake}
+                if isinstance(messages, Broadcast):
+                    # Zero-copy: no per-neighbor dict is materialized.
+                    nbrs = neighbors(v)
+                    messages_sent += len(nbrs)
+                    payload = messages.payload
+                    if measure_sizes:
+                        weight = payload_weight(payload)
+                        for _ in nbrs:
+                            metrics.charge_message_weight(weight)
+                    for target in nbrs:
+                        if target in awake_set:
+                            box = inboxes.get(target)
+                            if box is None:
+                                inboxes[target] = {v: payload}
+                            else:
+                                box[v] = payload
+                else:
+                    nbr_set = nbr_sets.get(v)
+                    if nbr_set is None:
+                        nbr_set = nbr_sets[v] = frozenset(neighbors(v))
+                    messages_sent += len(messages)
+                    for target, payload in messages.items():
+                        if target not in nbr_set:
+                            raise SimulationError(
+                                f"node {v} tried to send to non-neighbor "
+                                f"{target}"
+                            )
+                        if measure_sizes:
+                            metrics.charge_message_weight(
+                                payload_weight(payload)
+                            )
+                        if target in awake_set:
+                            box = inboxes.get(target)
+                            if box is None:
+                                inboxes[target] = {v: payload}
+                            else:
+                                box[v] = payload
 
             # Phase 2: advance every awake node with its inbox.
-            for v in awake:
-                metrics.charge_awake(v)
-                if metrics.awake_rounds[v] > self._max_awake_each:
+            next_round = current_round + 1
+            lockstep = True
+            next_awake: list[tuple[NodeId, AwakeAt]] = []
+            for v, _ in awake:
+                count = awake_rounds.get(v, 0) + 1
+                awake_rounds[v] = count
+                if count > max_awake:
                     raise SimulationError(
-                        f"node {v} exceeded {self._max_awake_each} awake "
+                        f"node {v} exceeded {max_awake} awake "
                         f"rounds at round {current_round}; runaway protocol?"
                     )
                 gen = generators[v]
                 try:
-                    action = gen.send(inboxes[v])
+                    action = gen.send(inboxes.get(v) or {})
                 except StopIteration as stop:
                     outputs[v] = stop.value
-                    metrics.termination_round[v] = current_round
+                    termination_round[v] = current_round
                     del generators[v]
-                    del pending[v]
                     continue
-                _check_action(v, action, previous_round=current_round)
-                pending[v] = action
-                heapq.heappush(heap, (action.round, v))
+                if not isinstance(action, AwakeAt):
+                    raise SimulationError(
+                        f"node {v} yielded {type(action).__name__}; programs "
+                        f"must yield AwakeAt actions"
+                    )
+                requested = action.round
+                if requested <= current_round:
+                    raise SimulationError(
+                        f"node {v} requested awake round {requested} but its "
+                        f"previous awake round was {current_round}; time must "
+                        f"advance"
+                    )
+                if requested == next_round:
+                    next_awake.append((v, action))
+                else:
+                    lockstep = False
+                    bucket = buckets.get(requested)
+                    if bucket is None:
+                        buckets[requested] = [(v, action)]
+                        heapq.heappush(rounds_heap, requested)
+                    else:
+                        bucket.append((v, action))
 
-        missing = set(graph.nodes) - set(outputs)
-        if missing:
+            if next_awake:
+                if lockstep and not rounds_heap:
+                    # Lockstep fast path: every live node wakes next round —
+                    # carry the (still sorted) list; skip the wake queue.
+                    carry = next_awake
+                else:
+                    bucket = buckets.get(next_round)
+                    if bucket is None:
+                        buckets[next_round] = next_awake
+                        heapq.heappush(rounds_heap, next_round)
+                    else:
+                        bucket.extend(next_awake)
+
+        metrics.messages_sent = messages_sent
+        metrics.active_rounds = active_rounds
+        metrics.last_round = current_round
+
+        if len(outputs) != graph.n:
+            missing = graph.node_set - set(outputs)
             raise SimulationError(
                 f"{len(missing)} nodes never terminated: {sorted(missing)[:5]}"
             )
@@ -166,6 +278,8 @@ def _expand_outgoing(
     messages: Mapping[NodeId, Payload] | Broadcast | None,
     graph: StaticGraph,
 ) -> dict[NodeId, Payload]:
+    """Materialize an action's outgoing messages (reference semantics;
+    the main loop above uses the zero-copy paths instead)."""
     if messages is None:
         return {}
     if isinstance(messages, Broadcast):

@@ -1,0 +1,216 @@
+"""Differential tests: the rewritten event loops are *bit-identical* to
+the seed implementation.
+
+Three engines exist after the fast-path rewrite:
+
+- :class:`SleepingSimulator` — bucketed wake queue, lockstep carry,
+  zero-copy broadcasts, lazy inboxes;
+- :class:`ReferenceSleepingSimulator` — the seed loop, kept verbatim;
+- ``run_local(engine="native")`` — the dedicated lockstep loop, vs the
+  generator route (``engine="simulator"``).
+
+Every test runs the same programs on both sides of a pair and asserts
+equal outputs and equal metrics (awake/round complexity, messages_sent,
+per-node awake and termination accounting).
+"""
+
+import pytest
+
+from repro.graphs import complete_graph, gnp, path, preferential_attachment, star
+from repro.model import AwakeAt, Broadcast, SleepingSimulator
+from repro.model.lockstep import greedy_by_id_local, run_local
+from repro.model.reference import ReferenceSleepingSimulator
+from repro.olocal import DeltaPlusOneColoring, MaximalIndependentSet
+
+GRAPHS = [
+    ("path-17", lambda: path(17)),
+    ("star-12", lambda: star(12)),
+    ("complete-9", lambda: complete_graph(9)),
+    ("gnp-40", lambda: gnp(40, 0.15, seed=5)),
+    ("ba-48", lambda: preferential_attachment(48, 3, seed=7)),
+]
+
+
+def assert_equivalent(graph, program, inputs=None, measure=False):
+    new = SleepingSimulator(
+        graph, program, inputs=inputs, measure_message_sizes=measure
+    ).run()
+    old = ReferenceSleepingSimulator(
+        graph, program, inputs=inputs, measure_message_sizes=measure
+    ).run()
+    assert new.outputs == old.outputs
+    assert new.metrics.awake_rounds == old.metrics.awake_rounds
+    assert new.metrics.termination_round == old.metrics.termination_round
+    assert new.metrics.summary() == old.metrics.summary()
+    assert new.metrics.max_message_weight == old.metrics.max_message_weight
+    assert new.metrics.total_message_weight == old.metrics.total_message_weight
+    return new
+
+
+# -- sleeping programs covering every delivery path --------------------------
+
+
+def staggered_broadcaster(info):
+    """Wake at id-dependent staggered rounds; broadcast id; some messages
+    land on sleeping targets and must be lost identically."""
+    inbox = yield AwakeAt(1 + info.id % 3, Broadcast(info.id))
+    heard = sorted(inbox)
+    inbox = yield AwakeAt(10, Broadcast(tuple(heard)))
+    return (heard, sorted(inbox))
+
+
+def directed_sender(info):
+    """Explicit per-neighbor dicts, including empty dicts."""
+    smaller = {u: ("to", u) for u in info.neighbors if u < info.id}
+    inbox = yield AwakeAt(2, smaller)
+    inbox2 = yield AwakeAt(4, {})
+    return (sorted(inbox), sorted(inbox2))
+
+
+def early_terminator(info):
+    """Half the nodes terminate immediately (round 0 accounting)."""
+    if info.id % 2 == 0:
+        return "early"
+        yield  # pragma: no cover
+    inbox = yield AwakeAt(3, Broadcast("late"))
+    return sorted(inbox)
+
+
+def lockstep_quiet(info):
+    """Every node awake every round, no messages — the carry fast path."""
+    for r in range(1, 12):
+        yield AwakeAt(r)
+    return info.id
+
+
+def lockstep_breaker(info):
+    """Lockstep for a while, then one node skips ahead — forces the carry
+    fast path to fall back to the bucketed queue mid-run."""
+    for r in range(1, 5):
+        inbox = yield AwakeAt(r, Broadcast(r))
+    if info.id == 1:
+        inbox = yield AwakeAt(100, Broadcast("skip"))
+    else:
+        inbox = yield AwakeAt(5 + info.id % 2)
+    return sorted(inbox)
+
+
+PROGRAMS = [
+    staggered_broadcaster,
+    directed_sender,
+    early_terminator,
+    lockstep_quiet,
+    lockstep_breaker,
+]
+
+
+@pytest.mark.parametrize("gname,factory", GRAPHS)
+@pytest.mark.parametrize("program", PROGRAMS)
+def test_sleeping_engines_bit_identical(gname, factory, program):
+    assert_equivalent(factory(), program)
+
+
+@pytest.mark.parametrize("gname,factory", GRAPHS[:3])
+def test_message_size_accounting_identical(gname, factory):
+    assert_equivalent(factory(), staggered_broadcaster, measure=True)
+
+
+def test_inputs_pass_through_identically():
+    g = gnp(20, 0.2, seed=9)
+    inputs = {v: v * v for v in g.nodes}
+
+    def program(info):
+        inbox = yield AwakeAt(1, Broadcast(info.input))
+        return (info.input, sorted(inbox.values()))
+
+    assert_equivalent(g, program, inputs=inputs)
+
+
+# -- run_local: native engine vs the generator route -------------------------
+
+
+def flood_callbacks():
+    def first_messages(state):
+        state.memory["best"] = state.info.id
+        return {u: state.info.id for u in state.info.neighbors}
+
+    def on_round(state, r, inbox):
+        best = max([state.memory["best"], *inbox.values()])
+        state.memory["best"] = best
+        if r >= state.info.n:
+            state.finish(best)
+        return {u: best for u in state.info.neighbors}
+
+    return first_messages, on_round
+
+
+def quiet_callbacks(rounds):
+    def first_messages(state):
+        return None
+
+    def on_round(state, r, inbox):
+        assert inbox == {}
+        if r >= rounds:
+            state.finish(r)
+        return None
+
+    return first_messages, on_round
+
+
+def instant_callbacks():
+    def first_messages(state):
+        state.finish(("instant", state.info.id))
+        return None
+
+    def on_round(state, r, inbox):  # pragma: no cover
+        raise AssertionError("never awake")
+
+    return first_messages, on_round
+
+
+@pytest.mark.parametrize("gname,factory", GRAPHS)
+@pytest.mark.parametrize(
+    "callbacks", [flood_callbacks, lambda: quiet_callbacks(7), instant_callbacks]
+)
+def test_run_local_engines_bit_identical(gname, factory, callbacks):
+    g = factory()
+    first, on_round = callbacks()
+    native = run_local(g, first, on_round)
+    via_sim = run_local(g, first, on_round, engine="simulator")
+    assert native.outputs == via_sim.outputs
+    assert native.metrics.awake_rounds == via_sim.metrics.awake_rounds
+    assert native.metrics.termination_round == via_sim.metrics.termination_round
+    assert native.metrics.summary() == via_sim.metrics.summary()
+
+
+@pytest.mark.parametrize("gname,factory", GRAPHS)
+def test_greedy_strawman_unchanged_by_native_engine(gname, factory):
+    """greedy_by_id_local rides the native engine; its outputs must equal
+    the sequential greedy oracle and its metrics the generator route."""
+    g = factory()
+    for problem in (DeltaPlusOneColoring(), MaximalIndependentSet()):
+        res = greedy_by_id_local(g, problem)
+        assert res.metrics.awake_complexity == res.metrics.round_complexity
+
+
+def test_native_engine_rejects_non_neighbor_targets():
+    from repro.errors import SimulationError
+
+    def first_messages(state):
+        return {999: "boo"}
+
+    def on_round(state, r, inbox):  # pragma: no cover
+        return None
+
+    with pytest.raises(SimulationError, match="non-neighbor"):
+        run_local(path(3), first_messages, on_round)
+
+
+def test_native_engine_runaway_detected():
+    with pytest.raises(RuntimeError, match="exceeded"):
+        run_local(path(2), lambda s: None, lambda s, r, i: None, max_rounds=15)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_local(path(2), lambda s: None, lambda s, r, i: None, engine="turbo")
