@@ -3,7 +3,7 @@ phase parameter b of Theorem 13."""
 
 from benchmarks.conftest import emit
 from repro.analysis.experiments import experiment_e11, experiment_e12
-from repro.core.theorem13 import compute_clustering, default_b
+from repro.core.theorem13 import compute_clustering
 from repro.graphs import gnp
 
 

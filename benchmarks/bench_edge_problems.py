@@ -1,6 +1,5 @@
 """Extension bench — edge problems via line graphs (Open Question 5)."""
 
-from benchmarks.conftest import emit
 from repro.graphs import cycle, gnp
 from repro.olocal.edge_problems import (
     edge_coloring,

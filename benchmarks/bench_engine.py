@@ -13,7 +13,9 @@ Measures, on the same machine and in the same process:
   the seed stack: :class:`ReferenceSleepingSimulator` driving programs
   that allocate cost-faithful frozen-dataclass actions;
 - **lockstep_quiet / lockstep_greedy** — ``run_local``'s native lockstep
-  engine vs the seed stack (generator route on the reference loop).
+  engine vs the seed stack (generator route on the reference loop);
+- **delivery_bound** — dense lockstep broadcast (G(n, 96/n)): per-edge
+  delivery dominates; exercises the batched receiver-centric path.
 
 Each simulator pair is also checked for *bit-identical* outputs and
 metrics before its timing is reported — a benchmark that changed
@@ -165,11 +167,16 @@ def timed(fn, reps):
     return result, best
 
 
-def check_identical(new, seed):
-    assert new.outputs == seed.outputs, "engine outputs diverged"
-    assert new.metrics.awake_rounds == seed.metrics.awake_rounds
-    assert new.metrics.termination_round == seed.metrics.termination_round
+def check_identical(new, seed, case="<unnamed>"):
+    assert new.outputs == seed.outputs, f"{case}: engine outputs diverged"
+    assert new.metrics.awake_rounds == seed.metrics.awake_rounds, (
+        f"{case}: awake_rounds diverged"
+    )
+    assert new.metrics.termination_round == seed.metrics.termination_round, (
+        f"{case}: termination_round diverged"
+    )
     assert new.metrics.summary() == seed.metrics.summary(), (
+        case,
         new.metrics.summary(),
         seed.metrics.summary(),
     )
@@ -246,13 +253,14 @@ def bench_sim(name, graph_factory, n, reps, results):
         ("sim_wake", 60, wake_program),
         ("sim_broadcast", 40, broadcast_program),
     ):
+        case = f"{bench}/{name}/n={n}"
         new_prog = make(rounds, AwakeAt)
         seed_prog = make(rounds, SeedAwakeAt)
         new_res, t_new = timed(lambda: SleepingSimulator(g, new_prog).run(), reps)
         seed_res, t_seed = timed(
             lambda: ReferenceSleepingSimulator(g, seed_prog).run(), reps
         )
-        check_identical(new_res, seed_res)
+        check_identical(new_res, seed_res, case)
         node_rounds = new_res.metrics.total_awake
         results[f"{bench}/{name}/n={n}"] = {
             "node_rounds": node_rounds,
@@ -265,12 +273,13 @@ def bench_sim(name, graph_factory, n, reps, results):
         ("lockstep_quiet", lambda: quiet_callbacks(120)),
         ("lockstep_greedy", lambda: greedy_callbacks(g)),
     ):
+        case = f"{bench}/{name}/n={n}"
         first, on_round = callbacks()
         new_res, t_new = timed(lambda: run_local(g, first, on_round), reps)
         seed_res, t_seed = timed(
             lambda: run_local_via_seed_stack(g, first, on_round), reps
         )
-        check_identical(new_res, seed_res)
+        check_identical(new_res, seed_res, case)
         node_rounds = new_res.metrics.total_awake
         results[f"{bench}/{name}/n={n}"] = {
             "node_rounds": node_rounds,
@@ -278,6 +287,31 @@ def bench_sim(name, graph_factory, n, reps, results):
             "seed_per_sec": node_rounds / t_seed,
             "speedup": t_seed / t_new,
         }
+
+
+def bench_delivery(n, reps, results):
+    """Delivery-bound workload: a dense G(n, 96/n) with every node awake
+    and broadcasting in lockstep, so per-edge delivery dominates both
+    engines. Exercises the batched receiver-centric path (PERFORMANCE.md
+    §2); before batching this pattern was Amdahl-capped at ~1.6x."""
+    g = gnp(n, 96.0 / n, seed=3)
+    rounds = max(2, 10_000 // n)
+    case = f"delivery_bound/gnp96/n={n}"
+    new_prog = broadcast_program(rounds, AwakeAt)
+    seed_prog = broadcast_program(rounds, SeedAwakeAt)
+    new_res, t_new = timed(lambda: SleepingSimulator(g, new_prog).run(), reps)
+    seed_res, t_seed = timed(
+        lambda: ReferenceSleepingSimulator(g, seed_prog).run(), reps
+    )
+    check_identical(new_res, seed_res, case)
+    node_rounds = new_res.metrics.total_awake
+    results[case] = {
+        "node_rounds": node_rounds,
+        "edges": g.num_edges,
+        "new_per_sec": node_rounds / t_new,
+        "seed_per_sec": node_rounds / t_seed,
+        "speedup": t_seed / t_new,
+    }
 
 
 FAMILIES = [
@@ -306,6 +340,7 @@ def main(argv=None):
         bench_graph(n, reps, results)
         for name, factory in FAMILIES:
             bench_sim(name, factory, n, reps, results)
+        bench_delivery(n, reps, results)
 
     width = max(len(k) for k in results)
     print(f"{'benchmark'.ljust(width)}  {'new/s':>12}  {'seed/s':>12}  {'speedup':>8}")
@@ -335,13 +370,22 @@ def main(argv=None):
             base = committed.get(key)
             if base is None or "speedup" not in row or "speedup" not in base:
                 continue
-            if row["speedup"] < base["speedup"] / 2:
+            ratio = row["speedup"] / base["speedup"]
+            if ratio < 0.5:
                 failures.append(
-                    f"{key}: speedup {row['speedup']:.2f}x < "
-                    f"half of committed {base['speedup']:.2f}x"
+                    f"  case:     {key}\n"
+                    f"  measured: {row['speedup']:.2f}x speedup over the "
+                    f"seed stack\n"
+                    f"  baseline: {base['speedup']:.2f}x committed in "
+                    f"{args.check}\n"
+                    f"  ratio:    {ratio:.2f} of baseline "
+                    f"(regression floor: 0.50)"
                 )
         if failures:
-            print("\nREGRESSIONS:\n" + "\n".join(failures))
+            print(
+                f"\nREGRESSIONS — {len(failures)} case(s) lost more than "
+                f"half their committed speedup:\n" + "\n\n".join(failures)
+            )
             return 1
         print("\ncheck ok: no speedup regressed more than 2x vs baseline")
     return 0

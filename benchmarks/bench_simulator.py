@@ -4,7 +4,6 @@ Not a paper artifact; documents the substrate's capacity so users can size
 their experiments (the simulator is the laptop stand-in for the testbed).
 """
 
-from benchmarks.conftest import emit
 from repro.graphs import gnp, random_regular
 from repro.model import AwakeAt, Broadcast, SleepingSimulator
 from repro.util.tables import format_table

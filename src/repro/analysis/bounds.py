@@ -9,7 +9,6 @@ paper's optimal constants.
 
 from __future__ import annotations
 
-from repro.core.lemma15 import singleton_palette
 from repro.core.linial import final_palette, num_steps
 from repro.core.theorem13 import color_palette_bound, default_b, num_phases
 from repro.util.mathx import ceil_log2, iterated_log, next_pow2, sqrt_log_ceil

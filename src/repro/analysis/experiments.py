@@ -5,6 +5,15 @@ key/value findings — consumed by the benchmark harness (printed rows) and
 by :mod:`repro.analysis.report` (EXPERIMENTS.md). The paper has no
 empirical tables, so "reproduction" means regenerating its four figures and
 empirically validating every stated bound.
+
+Every experiment is declared as an :class:`ExperimentPlan`: an
+enumeration of independent, picklable trials, a module-level per-trial
+function, and an order-preserving aggregator. The ``experiment_*``
+wrappers run the plan serially (the bit-identical reference path); the
+sweep runner (:mod:`repro.runner`) runs the *same* plans sharded across
+worker processes and aggregates in spec order, so the tables are
+byte-identical for any worker count. Experiments whose phases are
+sequentially dependent (E2, E3, E4, E11) are single-trial plans.
 """
 
 from __future__ import annotations
@@ -74,25 +83,59 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """How one experiment shards into independent trials.
+
+    Attributes:
+        exp_id: the experiment id, e.g. ``"E9"``.
+        trials: enumerates ``(label, kwargs)`` pairs; accepts the same
+            keyword overrides as the ``experiment_*`` wrapper.
+        run: the per-trial function — module-level (so worker processes
+            resolve it by name) and deterministic given its kwargs.
+        aggregate: folds the trial payloads, **in enumeration order**,
+            into the final :class:`ExperimentResult`.
+    """
+
+    exp_id: str
+    trials: Callable[..., list[tuple[str, dict[str, Any]]]]
+    run: Callable[..., Any]
+    aggregate: Callable[[list[Any]], ExperimentResult]
+
+
+def _run_plan(plan: ExperimentPlan, **overrides: Any) -> ExperimentResult:
+    """Serial reference execution of a plan: enumerate, run, aggregate."""
+    payloads = [plan.run(**kwargs) for _label, kwargs in plan.trials(**overrides)]
+    return plan.aggregate(payloads)
+
+
+def _merge_rows(payloads: list[Any]) -> list[Sequence[Any]]:
+    return [row for payload in payloads for row in payload["rows"]]
+
+
 # ---------------------------------------------------------------------------
 # E1 — Figure 1 / Lemma 10.
 # ---------------------------------------------------------------------------
 
 
-def experiment_e1(max_log_q: int = 10) -> ExperimentResult:
-    """Regenerate Figure 1 and verify the mapping properties up to 2^10."""
-    rows = []
-    for log_q in range(0, max_log_q + 1):
-        q = 2**log_q
-        mapping = ColorScheduleMapping(q)
-        mapping.verify()
-        rows.append((q, mapping.schedule_length, mapping.num_rounds, "ok"))
+def _e1_trials(max_log_q: int = 10) -> list[tuple[str, dict[str, Any]]]:
+    return [(f"q=2^{k}", {"log_q": k}) for k in range(0, max_log_q + 1)]
+
+
+def _e1_trial(log_q: int) -> dict[str, Any]:
+    q = 2**log_q
+    mapping = ColorScheduleMapping(q)
+    mapping.verify()
+    return {"rows": [(q, mapping.schedule_length, mapping.num_rounds, "ok")]}
+
+
+def _e1_aggregate(payloads: list[Any]) -> ExperimentResult:
     m8 = ColorScheduleMapping(8)
     return ExperimentResult(
         exp_id="E1",
         title="Lemma 10 mappings φ and r (Figure 1)",
         headers=["q", "|r(c)| = 1+log q", "rounds 2q-1", "properties"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "phi(2), r(2) at q=8 (paper)": f"{m8.phi(2)}, {sorted(m8.r(2))} "
             f"(paper: 3, [2, 3, 4, 8])",
@@ -101,6 +144,11 @@ def experiment_e1(max_log_q: int = 10) -> ExperimentResult:
         },
         notes="```\n" + render_figure1(8) + "\n```",
     )
+
+
+def experiment_e1(max_log_q: int = 10) -> ExperimentResult:
+    """Regenerate Figure 1 and verify the mapping properties up to 2^10."""
+    return _run_plan(TRIAL_PLANS["E1"], max_log_q=max_log_q)
 
 
 # ---------------------------------------------------------------------------
@@ -153,7 +201,6 @@ def experiment_e3(n: int = 96, seed: int = 7) -> ExperimentResult:
     rows = []
     label = {v: v for v in graph.nodes}
     active = set(graph.nodes)
-    dist = {v: 0 for v in graph.nodes}
     phase = 0
     while active:
         phase += 1
@@ -243,35 +290,56 @@ def experiment_e4() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def experiment_e5() -> ExperimentResult:
-    """Measure awake complexity of all four cast variants on trees."""
+def _e5_tree(tree: str):
+    if tree == "path-32":
+        return path(32), 1
+    if tree == "star-32":
+        return _star(32), 1
+    if tree == "random-tree-64":
+        return random_tree(64, seed=3), 5
+    raise KeyError(tree)
+
+
+_E5_TREES = ("path-32", "star-32", "random-tree-64")
+
+
+def _e5_trials() -> list[tuple[str, dict[str, Any]]]:
+    return [(tree, {"tree": tree}) for tree in _E5_TREES]
+
+
+def _e5_trial(tree: str) -> dict[str, Any]:
+    graph, root = _e5_tree(tree)
+    parent, depth = _bfs_tree(graph, root)
     rows = []
-    for name, graph, root in [
-        ("path-32", path(32), 1),
-        ("star-32", _star(32), 1),
-        ("random-tree-64", random_tree(64, seed=3), 5),
+    for variant, runner, bound in [
+        ("broadcast (BFS δ)", _run_broadcast_bfs, 2),
+        ("convergecast (BFS δ)", _run_convergecast_bfs, 2),
+        ("broadcast (labeled)", _run_broadcast_labeled, 3),
+        ("convergecast (labeled)", _run_convergecast_labeled, 3),
     ]:
-        parent, depth = _bfs_tree(graph, root)
-        for variant, runner, bound in [
-            ("broadcast (BFS δ)", _run_broadcast_bfs, 2),
-            ("convergecast (BFS δ)", _run_convergecast_bfs, 2),
-            ("broadcast (labeled)", _run_broadcast_labeled, 3),
-            ("convergecast (labeled)", _run_convergecast_labeled, 3),
-        ]:
-            res = runner(graph, parent, depth, root)
-            rows.append(
-                (name, graph.n, variant, res.awake_complexity, bound,
-                 res.round_complexity,
-                 "ok" if res.awake_complexity <= bound else "VIOLATED")
-            )
+        res = runner(graph, parent, depth, root)
+        rows.append(
+            (tree, graph.n, variant, res.awake_complexity, bound,
+             res.round_complexity,
+             "ok" if res.awake_complexity <= bound else "VIOLATED")
+        )
+    return {"rows": rows}
+
+
+def _e5_aggregate(payloads: list[Any]) -> ExperimentResult:
     return ExperimentResult(
         exp_id="E5",
         title="Lemma 6 broadcast/convergecast awake complexity",
         headers=["tree", "n", "variant", "awake (max)", "paper bound",
                  "rounds", "within"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={"paper": "awake complexity 3, round complexity O(N)"},
     )
+
+
+def experiment_e5() -> ExperimentResult:
+    """Measure awake complexity of all four cast variants on trees."""
+    return _run_plan(TRIAL_PLANS["E5"])
 
 
 def _star(n):
@@ -344,29 +412,49 @@ def _run_convergecast_labeled(graph, parent, depth, root):
 # ---------------------------------------------------------------------------
 
 
-def experiment_e6() -> ExperimentResult:
-    """Baseline awake complexity across degree regimes."""
-    rows = []
-    for name, graph in [
-        ("path-64", path(64)),
-        ("4-regular-64", random_regular(64, 4, seed=1)),
-        ("gnp-64-dense", gnp(64, 0.3, seed=2)),
-        ("complete-32", complete_graph(32)),
-        ("complete-64", complete_graph(64)),
-    ]:
-        result = solve_with_baseline(graph, MaximalIndependentSet())
-        delta = graph.max_degree
-        bound = bounds.baseline_awake_bound(graph.id_space, delta)
-        rows.append(
-            (name, graph.n, delta, result.awake_complexity, bound,
+def _e6_graph(name: str):
+    if name == "path-64":
+        return path(64)
+    if name == "4-regular-64":
+        return random_regular(64, 4, seed=1)
+    if name == "gnp-64-dense":
+        return gnp(64, 0.3, seed=2)
+    if name == "complete-32":
+        return complete_graph(32)
+    if name == "complete-64":
+        return complete_graph(64)
+    raise KeyError(name)
+
+
+_E6_GRAPHS = (
+    "path-64", "4-regular-64", "gnp-64-dense", "complete-32", "complete-64",
+)
+
+
+def _e6_trials() -> list[tuple[str, dict[str, Any]]]:
+    return [(name, {"graph_name": name}) for name in _E6_GRAPHS]
+
+
+def _e6_trial(graph_name: str) -> dict[str, Any]:
+    graph = _e6_graph(graph_name)
+    result = solve_with_baseline(graph, MaximalIndependentSet())
+    delta = graph.max_degree
+    bound = bounds.baseline_awake_bound(graph.id_space, delta)
+    return {
+        "rows": [
+            (graph_name, graph.n, delta, result.awake_complexity, bound,
              result.round_complexity,
              "ok" if result.awake_complexity <= bound else "VIOLATED")
-        )
+        ]
+    }
+
+
+def _e6_aggregate(payloads: list[Any]) -> ExperimentResult:
     return ExperimentResult(
         exp_id="E6",
         title="BM21 baseline (Lemma 11 + Linial): awake O(log Δ + log* n)",
         headers=["graph", "n", "Δ", "awake", "bound", "rounds", "within"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "shape": "awake grows with log Δ (complete-64 > complete-32 > "
             "sparse), the regime Theorem 1 improves",
@@ -374,40 +462,60 @@ def experiment_e6() -> ExperimentResult:
     )
 
 
+def experiment_e6() -> ExperimentResult:
+    """Baseline awake complexity across degree regimes."""
+    return _run_plan(TRIAL_PLANS["E6"])
+
+
 # ---------------------------------------------------------------------------
 # E7 — Theorem 9: awake O(log c).
 # ---------------------------------------------------------------------------
 
 
-def experiment_e7(n: int = 32, seed: int = 3) -> ExperimentResult:
-    """Fix a graph+clustering; widen the assumed palette c — awake grows
-    logarithmically."""
+def _e7_trials(n: int = 32, seed: int = 3) -> list[tuple[str, dict[str, Any]]]:
+    graph = gnp(n, 0.15, seed=seed)
+    base_c = max(_greedy_coloring(graph).values())
+    return [
+        (f"c={c}", {"n": n, "seed": seed, "c": c})
+        for c in [base_c, 8, 16, 64, 256, 1024]
+        if c >= base_c
+    ]
+
+
+def _e7_trial(n: int, seed: int, c: int) -> dict[str, Any]:
     graph = gnp(n, 0.15, seed=seed)
     colors = _greedy_coloring(graph)
     clustering = ColoredBFSClustering(colors, {v: 0 for v in graph.nodes})
-    base_c = max(colors.values())
-    rows = []
-    for c in [base_c, 8, 16, 64, 256, 1024]:
-        if c < base_c:
-            continue
-        result = solve_with_clustering(
-            graph, DeltaPlusOneColoring(), clustering, palette=c
-        )
-        bound = bounds.theorem9_awake_bound(n, c)
-        rows.append(
+    result = solve_with_clustering(
+        graph, DeltaPlusOneColoring(), clustering, palette=c
+    )
+    bound = bounds.theorem9_awake_bound(n, c)
+    return {
+        "n": n,
+        "rows": [
             (c, result.awake_complexity, bound, result.round_complexity,
              "ok" if result.awake_complexity <= bound else "VIOLATED")
-        )
+        ],
+    }
+
+
+def _e7_aggregate(payloads: list[Any]) -> ExperimentResult:
     return ExperimentResult(
         exp_id="E7",
-        title=f"Theorem 9: awake vs palette c (n={n})",
+        title=f"Theorem 9: awake vs palette c (n={payloads[0]['n']})",
         headers=["c", "awake", "bound O(log c)", "rounds", "within"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "shape": "awake grows ~7 rounds per doubling of c (the ×7 "
             "Lemma 7 overhead on one extra calendar level)",
         },
     )
+
+
+def experiment_e7(n: int = 32, seed: int = 3) -> ExperimentResult:
+    """Fix a graph+clustering; widen the assumed palette c — awake grows
+    logarithmically."""
+    return _run_plan(TRIAL_PLANS["E7"], n=n, seed=seed)
 
 
 def _greedy_coloring(graph):
@@ -426,24 +534,29 @@ def _greedy_coloring(graph):
 # ---------------------------------------------------------------------------
 
 
-def experiment_e8_structure(sizes=(64, 256, 1024, 4096, 8192)) -> ExperimentResult:
-    """Reference-scale structure check: colors used vs the 2^{O(sqrt log n)}
-    bound across n (no simulation — Definition 4 validated centrally)."""
-    rows = []
-    for n in sizes:
-        graph = gnp(n, min(0.5, 3.0 / n) if n > 16 else 0.3, seed=n)
-        ref = theorem13_reference(graph)
-        rows.append(
+def _e8a_trials(sizes=(64, 256, 1024, 4096, 8192)) -> list[tuple[str, dict[str, Any]]]:
+    return [(f"n={n}", {"n": n}) for n in sizes]
+
+
+def _e8a_trial(n: int) -> dict[str, Any]:
+    graph = gnp(n, min(0.5, 3.0 / n) if n > 16 else 0.3, seed=n)
+    ref = theorem13_reference(graph)
+    return {
+        "rows": [
             (n, graph.max_degree, ref.b, num_phases(n),
              ref.clustering.num_colors(), ref.clustering.max_color(),
              ref.palette_bound)
-        )
+        ]
+    }
+
+
+def _e8a_aggregate(payloads: list[Any]) -> ExperimentResult:
     return ExperimentResult(
         exp_id="E8a",
         title="Theorem 13 structure at scale (centralized reference)",
         headers=["n", "Δ", "b", "phases", "colors used", "max color",
                  "bound k·a·b²"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "paper": "2^{O(sqrt(log n))} colors; the bound column grows "
             "sub-polynomially",
@@ -451,47 +564,72 @@ def experiment_e8_structure(sizes=(64, 256, 1024, 4096, 8192)) -> ExperimentResu
     )
 
 
-def experiment_e8_distributed(sizes=(8, 16, 32, 64, 96, 128)) -> ExperimentResult:
-    """Simulated awake complexity of the pipeline vs the closed-form bound."""
-    rows = []
-    for n in sizes:
-        graph = gnp(n, 3.0 / n, seed=n + 1)
-        res = compute_clustering(graph)
-        bound = bounds.theorem13_awake_bound(graph.n, graph.id_space)
-        rows.append(
+def experiment_e8_structure(sizes=(64, 256, 1024, 4096, 8192)) -> ExperimentResult:
+    """Reference-scale structure check: colors used vs the 2^{O(sqrt log n)}
+    bound across n (no simulation — Definition 4 validated centrally)."""
+    return _run_plan(TRIAL_PLANS["E8a"], sizes=sizes)
+
+
+def _e8b_trials(sizes=(8, 16, 32, 64, 96, 128)) -> list[tuple[str, dict[str, Any]]]:
+    return [(f"n={n}", {"n": n}) for n in sizes]
+
+
+def _e8b_trial(n: int) -> dict[str, Any]:
+    graph = gnp(n, 3.0 / n, seed=n + 1)
+    res = compute_clustering(graph)
+    bound = bounds.theorem13_awake_bound(graph.n, graph.id_space)
+    return {
+        "rows": [
             (n, res.b, res.awake_complexity, bound,
              res.round_complexity,
              "ok" if res.awake_complexity <= bound else "VIOLATED")
-        )
+        ]
+    }
+
+
+def _e8b_aggregate(payloads: list[Any]) -> ExperimentResult:
     return ExperimentResult(
         exp_id="E8b",
         title="Theorem 13 measured awake complexity (Sleeping simulator)",
         headers=["n", "b", "awake", "bound", "rounds", "within"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "paper": "awake O(sqrt(log n)·log* n), rounds O(n^5 sqrt(log n))",
         },
     )
 
 
-def experiment_e8_idspace(n: int = 12, seed: int = 9) -> ExperimentResult:
-    """The §5 Remark: IDs from [n^s] change round complexity, not awake."""
+def experiment_e8_distributed(sizes=(8, 16, 32, 64, 96, 128)) -> ExperimentResult:
+    """Simulated awake complexity of the pipeline vs the closed-form bound."""
+    return _run_plan(TRIAL_PLANS["E8b"], sizes=sizes)
+
+
+def _e8c_trials(n: int = 12, seed: int = 9) -> list[tuple[str, dict[str, Any]]]:
+    return [(f"s={s}", {"n": n, "seed": seed, "s": s}) for s in (1, 2, 3)]
+
+
+def _e8c_trial(n: int, seed: int, s: int) -> dict[str, Any]:
     from repro.util.idspace import polynomial_ids
 
-    rows = []
-    for s in (1, 2, 3):
-        ids = polynomial_ids(n, s, seed=seed) if s > 1 else None
-        graph = gnp(n, 0.3, seed=seed, ids=ids)
-        res = compute_clustering(graph)
-        rows.append(
+    ids = polynomial_ids(n, s, seed=seed) if s > 1 else None
+    graph = gnp(n, 0.3, seed=seed, ids=ids)
+    res = compute_clustering(graph)
+    return {
+        "n": n,
+        "rows": [
             (f"n^{s}", graph.id_space, res.awake_complexity,
              res.round_complexity)
-        )
+        ],
+    }
+
+
+def _e8c_aggregate(payloads: list[Any]) -> ExperimentResult:
     return ExperimentResult(
         exp_id="E8c",
-        title=f"§5 Remark: ID range vs round/awake complexity (n={n})",
+        title=f"§5 Remark: ID range vs round/awake complexity "
+        f"(n={payloads[0]['n']})",
         headers=["ID space", "|space|", "awake", "rounds"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "paper": "rounds O(n^{1+s} sqrt(log n)) for IDs in [n^s]; awake "
             "unchanged — the rounds column grows with s, awake stays flat",
@@ -499,42 +637,64 @@ def experiment_e8_idspace(n: int = 12, seed: int = 9) -> ExperimentResult:
     )
 
 
+def experiment_e8_idspace(n: int = 12, seed: int = 9) -> ExperimentResult:
+    """The §5 Remark: IDs from [n^s] change round complexity, not awake."""
+    return _run_plan(TRIAL_PLANS["E8c"], n=n, seed=seed)
+
+
 # ---------------------------------------------------------------------------
 # E9 — the headline comparison: Theorem 1 vs the BM21 baseline.
 # ---------------------------------------------------------------------------
 
 
-def experiment_e9(
+def _e9_family(family: str, n: int):
+    if family == "path":
+        return "bounded-degree (path)", path(n)
+    if family == "powerlaw":
+        return "Δ=n^ε (power-law)", preferential_attachment(
+            n, max(2, n // 16), seed=n
+        )
+    if family == "complete":
+        return "Δ=n-1 (complete)", complete_graph(n)
+    raise KeyError(family)
+
+
+_E9_FAMILIES = ("path", "powerlaw", "complete")
+
+
+def _e9_trials(
     sizes=(16, 32, 64, 128, 256), problem: Any = None
-) -> ExperimentResult:
-    """Awake complexity scaling of both algorithms on low- and high-degree
-    families. The paper's claim: for Δ = n^ε the baseline pays Θ(log n)
-    while Theorem 1 pays O(sqrt(log n)·log* n) — the *growth rates* must
-    separate even where constants favor the baseline."""
+) -> list[tuple[str, dict[str, Any]]]:
+    return [
+        (f"{family}/n={n}", {"n": n, "family": family, "problem": problem})
+        for n in sizes
+        for family in _E9_FAMILIES
+    ]
+
+
+def _e9_trial(n: int, family: str, problem: Any = None) -> dict[str, Any]:
     problem = problem or MaximalIndependentSet()
-    rows = []
-    for n in sizes:
-        for family, graph in [
-            ("bounded-degree (path)", path(n)),
-            ("Δ=n^ε (power-law)", preferential_attachment(
-                n, max(2, n // 16), seed=n)),
-            ("Δ=n-1 (complete)", complete_graph(n)),
-        ]:
-            base = solve_with_baseline(graph, problem)
-            thm1 = solve(graph, problem)
-            rows.append(
-                (family, n, graph.max_degree,
-                 base.awake_complexity, thm1.awake_complexity,
-                 f"{thm1.awake_complexity / base.awake_complexity:.2f}",
-                 bounds.baseline_asymptotic(graph.max_degree, graph.id_space),
-                 bounds.theorem1_asymptotic(n, graph.id_space))
-            )
+    label, graph = _e9_family(family, n)
+    base = solve_with_baseline(graph, problem)
+    thm1 = solve(graph, problem)
+    return {
+        "rows": [
+            (label, n, graph.max_degree,
+             base.awake_complexity, thm1.awake_complexity,
+             f"{thm1.awake_complexity / base.awake_complexity:.2f}",
+             bounds.baseline_asymptotic(graph.max_degree, graph.id_space),
+             bounds.theorem1_asymptotic(n, graph.id_space))
+        ]
+    }
+
+
+def _e9_aggregate(payloads: list[Any]) -> ExperimentResult:
     return ExperimentResult(
         exp_id="E9",
         title="Theorem 1 vs BM21 baseline (headline comparison)",
         headers=["family", "n", "Δ", "awake BM21", "awake Thm1",
                  "Thm1/BM21", "~logΔ+log*n", "~√log n·log*n"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "shape": "the baseline's awake grows with log Δ (doubling n on "
             "complete graphs adds ~2 awake rounds); Theorem 1's awake is "
@@ -547,33 +707,49 @@ def experiment_e9(
     )
 
 
+def experiment_e9(
+    sizes=(16, 32, 64, 128, 256), problem: Any = None
+) -> ExperimentResult:
+    """Awake complexity scaling of both algorithms on low- and high-degree
+    families. The paper's claim: for Δ = n^ε the baseline pays Θ(log n)
+    while Theorem 1 pays O(sqrt(log n)·log* n) — the *growth rates* must
+    separate even where constants favor the baseline."""
+    return _run_plan(TRIAL_PLANS["E9"], sizes=sizes, problem=problem)
+
+
 # ---------------------------------------------------------------------------
 # E10 — distance-2 coloring is not O-LOCAL.
 # ---------------------------------------------------------------------------
 
 
-def experiment_e10(num_rules: int = 8) -> ExperimentResult:
-    """Defeat a sample of sink rules f: {1..6} -> {1..5}."""
+def _e10_trials(num_rules: int = 8) -> list[tuple[str, dict[str, Any]]]:
+    return [(f"rule#{seed}", {"seed": seed}) for seed in range(num_rules)]
+
+
+def _e10_trial(seed: int) -> dict[str, Any]:
     import random
 
-    rows = []
-    for seed in range(num_rules):
-        rng = random.Random(seed)
-        table = {i: rng.randint(1, 5) for i in range(1, 7)}
-        f = table.__getitem__
-        assignment = defeating_id_assignment(f, 6)
-        pair = sink_collision(f, assignment)
-        rows.append(
+    rng = random.Random(seed)
+    table = {i: rng.randint(1, 5) for i in range(1, 7)}
+    f = table.__getitem__
+    assignment = defeating_id_assignment(f, 6)
+    pair = sink_collision(f, assignment)
+    return {
+        "rows": [
             (f"f#{seed}: {list(table.values())}",
              str(assignment), f"sinks {pair[0]} & {pair[1]}",
              f(assignment[pair[0] - 1]))
-        )
+        ]
+    }
+
+
+def _e10_aggregate(payloads: list[Any]) -> ExperimentResult:
     return ExperimentResult(
         exp_id="E10",
         title="§2.2: every 5-color sink rule is defeated on P_6",
         headers=["rule f(1..6)", "ID placement", "colliding sinks",
                  "shared color"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "paper": "distance-2 coloring ∉ O-LOCAL — sinks of the "
             "alternating orientation decide from their ID alone, and "
@@ -582,20 +758,9 @@ def experiment_e10(num_rules: int = 8) -> ExperimentResult:
     )
 
 
-ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    "E1": experiment_e1,
-    "E2": experiment_e2,
-    "E3": experiment_e3,
-    "E4": experiment_e4,
-    "E5": experiment_e5,
-    "E6": experiment_e6,
-    "E7": experiment_e7,
-    "E8a": experiment_e8_structure,
-    "E8b": experiment_e8_distributed,
-    "E8c": experiment_e8_idspace,
-    "E9": experiment_e9,
-    "E10": experiment_e10,
-}
+def experiment_e10(num_rules: int = 8) -> ExperimentResult:
+    """Defeat a sample of sink rules f: {1..6} -> {1..5}."""
+    return _run_plan(TRIAL_PLANS["E10"], num_rules=num_rules)
 
 
 # ---------------------------------------------------------------------------
@@ -655,28 +820,34 @@ def experiment_e11(n: int = 48, seed: int = 21) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def experiment_e12(n: int = 40, seed: int = 23) -> ExperimentResult:
-    """The paper fixes b = 2^{sqrt(log n)}; the ablation shows the
-    trade-off: larger b dissolves more nodes per phase (fewer phases,
-    more colors), smaller b needs more phases with fewer colors each."""
+def _e12_trials(n: int = 40, seed: int = 23) -> list[tuple[str, dict[str, Any]]]:
+    return [(f"b={b}", {"n": n, "seed": seed, "b": b}) for b in (2, 4, 8, 16)]
+
+
+def _e12_trial(n: int, seed: int, b: int) -> dict[str, Any]:
     graph = gnp(n, 0.15, seed=seed)
-    rows = []
-    for b in (2, 4, 8, 16):
-        ref = theorem13_reference(graph, b=b)
-        phases_used = max(a.phase for a in ref.assignments.values())
-        res = compute_clustering(graph, b=b)
-        rows.append(
+    ref = theorem13_reference(graph, b=b)
+    phases_used = max(a.phase for a in ref.assignments.values())
+    res = compute_clustering(graph, b=b)
+    return {
+        "n": graph.n,
+        "rows": [
             (b, singleton_palette(b), phases_used,
              ref.clustering.num_colors(), ref.clustering.max_color(),
              res.awake_complexity, res.round_complexity)
-        )
-    marker = default_b(graph.n)
+        ],
+    }
+
+
+def _e12_aggregate(payloads: list[Any]) -> ExperimentResult:
+    n = payloads[0]["n"]
+    marker = default_b(n)
     return ExperimentResult(
         exp_id="E12",
         title=f"Ablation: the phase parameter b (n={n}, paper's b={marker})",
         headers=["b", "a·b²", "phases used", "colors used", "max color",
                  "awake", "rounds"],
-        rows=rows,
+        rows=_merge_rows(payloads),
         findings={
             "trade-off": "b controls the split between per-phase palette "
             "(a·b², grows with b) and phase count (shrinks with b); the "
@@ -686,5 +857,59 @@ def experiment_e12(n: int = 40, seed: int = 23) -> ExperimentResult:
     )
 
 
-ALL_EXPERIMENTS["E11"] = experiment_e11
-ALL_EXPERIMENTS["E12"] = experiment_e12
+def experiment_e12(n: int = 40, seed: int = 23) -> ExperimentResult:
+    """The paper fixes b = 2^{sqrt(log n)}; the ablation shows the
+    trade-off: larger b dissolves more nodes per phase (fewer phases,
+    more colors), smaller b needs more phases with fewer colors each."""
+    return _run_plan(TRIAL_PLANS["E12"], n=n, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Plan registry — the sweep runner executes these same plans sharded.
+# ---------------------------------------------------------------------------
+
+
+def _single_plan(exp_id: str, fn: Callable[[], ExperimentResult]) -> ExperimentPlan:
+    """A one-trial plan for experiments with sequentially dependent phases."""
+    return ExperimentPlan(
+        exp_id=exp_id,
+        trials=lambda: [(exp_id, {})],
+        run=fn,
+        aggregate=lambda payloads: payloads[0],
+    )
+
+
+TRIAL_PLANS: dict[str, ExperimentPlan] = {
+    "E1": ExperimentPlan("E1", _e1_trials, _e1_trial, _e1_aggregate),
+    "E2": _single_plan("E2", experiment_e2),
+    "E3": _single_plan("E3", experiment_e3),
+    "E4": _single_plan("E4", experiment_e4),
+    "E5": ExperimentPlan("E5", _e5_trials, _e5_trial, _e5_aggregate),
+    "E6": ExperimentPlan("E6", _e6_trials, _e6_trial, _e6_aggregate),
+    "E7": ExperimentPlan("E7", _e7_trials, _e7_trial, _e7_aggregate),
+    "E8a": ExperimentPlan("E8a", _e8a_trials, _e8a_trial, _e8a_aggregate),
+    "E8b": ExperimentPlan("E8b", _e8b_trials, _e8b_trial, _e8b_aggregate),
+    "E8c": ExperimentPlan("E8c", _e8c_trials, _e8c_trial, _e8c_aggregate),
+    "E9": ExperimentPlan("E9", _e9_trials, _e9_trial, _e9_aggregate),
+    "E10": ExperimentPlan("E10", _e10_trials, _e10_trial, _e10_aggregate),
+    "E11": _single_plan("E11", experiment_e11),
+    "E12": ExperimentPlan("E12", _e12_trials, _e12_trial, _e12_aggregate),
+}
+
+
+ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "E1": experiment_e1,
+    "E2": experiment_e2,
+    "E3": experiment_e3,
+    "E4": experiment_e4,
+    "E5": experiment_e5,
+    "E6": experiment_e6,
+    "E7": experiment_e7,
+    "E8a": experiment_e8_structure,
+    "E8b": experiment_e8_distributed,
+    "E8c": experiment_e8_idspace,
+    "E9": experiment_e9,
+    "E10": experiment_e10,
+    "E11": experiment_e11,
+    "E12": experiment_e12,
+}

@@ -7,6 +7,9 @@ Examples::
         --problem coloring --trace
     python -m repro cluster --family grid --n 36 --b 4
     python -m repro report --only E1 E5
+    python -m repro sweep --experiments E9 --workers 4
+    python -m repro sweep --grid --families path gnp --sizes 16 32 \
+        --problems mis coloring --trials 3 --workers 4
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from repro.graphs import (
     star,
 )
 from repro.olocal import PROBLEMS
-from repro.util.idspace import identity_ids, permuted_ids, polynomial_ids
+from repro.util.idspace import permuted_ids, polynomial_ids
 from repro.util.mathx import ceil_sqrt
 
 PROBLEM_ALIASES = {
@@ -39,40 +42,70 @@ PROBLEM_ALIASES = {
     "vertex-cover": "minimal_vertex_cover",
 }
 
+#: Family name -> builder(n, seed, p, degree, id_assignment). The single
+#: source of truth for what build_family_graph (and therefore the sweep
+#: runner's grid specs) understands.
+_FAMILY_BUILDERS: dict[str, Callable[..., "StaticGraph"]] = {
+    "path": lambda n, seed, p, degree, ids: path(n, ids),
+    "cycle": lambda n, seed, p, degree, ids: cycle(n, ids),
+    "star": lambda n, seed, p, degree, ids: star(n, ids),
+    "complete": lambda n, seed, p, degree, ids: complete_graph(n, ids),
+    "grid": lambda n, seed, p, degree, ids: grid(
+        ceil_sqrt(n), ceil_sqrt(n), None
+    ),
+    "hypercube": lambda n, seed, p, degree, ids: hypercube(
+        max(1, n.bit_length() - 1), None
+    ),
+    "tree": lambda n, seed, p, degree, ids: random_tree(n, seed=seed, ids=ids),
+    "gnp": lambda n, seed, p, degree, ids: gnp(n, p, seed=seed, ids=ids),
+    "regular": lambda n, seed, p, degree, ids: random_regular(
+        n if (n * degree) % 2 == 0 else n + 1, degree, seed=seed, ids=None,
+    ),
+    "powerlaw": lambda n, seed, p, degree, ids: preferential_attachment(
+        n, max(2, n // 16), seed=seed, ids=ids
+    ),
+}
+
+#: Families build_family_graph understands (sweep specs validate against
+#: this up front, before any trial runs).
+GRAPH_FAMILIES = tuple(sorted(_FAMILY_BUILDERS))
+
+
+def build_family_graph(
+    family: str,
+    n: int,
+    *,
+    seed: int = 0,
+    p: float = 0.15,
+    degree: int = 4,
+    ids: str = "identity",
+) -> StaticGraph:
+    """Instantiate a graph family with an ID scheme (shared by the CLI
+    commands and the sweep runner's seeded solve grids)."""
+    builder = _FAMILY_BUILDERS.get(family)
+    if builder is None:
+        raise KeyError(
+            f"unknown family {family!r}; choose from "
+            f"{sorted(_FAMILY_BUILDERS)}"
+        )
+    id_assignment = None
+    if ids == "permuted":
+        id_assignment = permuted_ids(n, seed=seed)
+    elif ids.startswith("poly"):
+        exponent = int(ids[4:] or 2)
+        id_assignment = polynomial_ids(n, exponent=exponent, seed=seed)
+    return builder(n, seed, p, degree, id_assignment)
+
 
 def build_graph(args: argparse.Namespace) -> StaticGraph:
     """Instantiate the requested graph family with the requested ID scheme."""
-    n, seed = args.n, args.seed
-    ids = None
-    if args.ids == "permuted":
-        ids = permuted_ids(n, seed=seed)
-    elif args.ids.startswith("poly"):
-        exponent = int(args.ids[4:] or 2)
-        ids = polynomial_ids(n, exponent=exponent, seed=seed)
-
-    families: dict[str, Callable[[], StaticGraph]] = {
-        "path": lambda: path(n, ids),
-        "cycle": lambda: cycle(n, ids),
-        "star": lambda: star(n, ids),
-        "complete": lambda: complete_graph(n, ids),
-        "grid": lambda: grid(ceil_sqrt(n), ceil_sqrt(n), None),
-        "hypercube": lambda: hypercube(max(1, n.bit_length() - 1), None),
-        "tree": lambda: random_tree(n, seed=seed, ids=ids),
-        "gnp": lambda: gnp(n, args.p, seed=seed, ids=ids),
-        "regular": lambda: random_regular(
-            n if (n * args.degree) % 2 == 0 else n + 1, args.degree,
-            seed=seed, ids=None,
-        ),
-        "powerlaw": lambda: preferential_attachment(
-            n, max(2, n // 16), seed=seed, ids=ids
-        ),
-    }
-    if args.family not in families:
-        raise SystemExit(
-            f"unknown family {args.family!r}; choose from "
-            f"{sorted(families)}"
+    try:
+        return build_family_graph(
+            args.family, args.n, seed=args.seed, p=args.p,
+            degree=args.degree, ids=args.ids,
         )
-    return families[args.family]()
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from exc
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -165,6 +198,67 @@ def cmd_report(args: argparse.Namespace) -> int:
     return report_main(argv)
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: run sharded experiment sweeps (see repro.runner)."""
+    from repro.runner import (
+        SweepError,
+        run_sweep,
+        sweep_from_experiments,
+        sweep_from_grid,
+        write_sweep_artifact,
+    )
+
+    try:
+        if args.grid:
+            spec = sweep_from_grid(
+                families=args.families,
+                sizes=args.sizes,
+                problems=args.problems,
+                algorithms=args.algorithms,
+                trials_per_config=args.trials,
+                master_seed=args.seed,
+                name=args.tag or "grid",
+            )
+        else:
+            spec = sweep_from_experiments(
+                experiments=args.experiments,
+                quick=args.quick,
+                name=args.tag or ("quick" if args.quick else "eseries"),
+            )
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from exc
+    print(
+        f"sweep {spec.name!r}: {len(spec.trials)} trials, "
+        f"{args.workers} worker(s)",
+        file=sys.stderr,
+    )
+
+    def progress(outcome):
+        print(
+            f"  [{outcome.spec.index + 1}/{len(spec.trials)}] "
+            f"{outcome.spec.label} ({outcome.seconds:.2f}s, "
+            f"pid {outcome.worker})",
+            file=sys.stderr,
+        )
+
+    try:
+        result = run_sweep(spec, workers=args.workers, progress=progress)
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    print(result.render())
+    busy = sum(o.seconds for o in result.outcomes)
+    print(
+        f"\nwall {result.wall_seconds:.2f}s, trial time {busy:.2f}s, "
+        f"workers {result.workers}",
+        file=sys.stderr,
+    )
+    if not args.no_artifact:
+        artifact = write_sweep_artifact(result, args.output_dir)
+        print(f"wrote {artifact}", file=sys.stderr)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -210,6 +304,57 @@ def make_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--output", default="EXPERIMENTS.md")
     report_p.add_argument("--only", nargs="*", default=None)
     report_p.set_defaults(func=cmd_report)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run experiment sweeps, sharded across worker processes",
+    )
+    sweep_p.add_argument(
+        "--experiments", nargs="+", default=None, metavar="EXP",
+        help="E-series ids to run (default: all; with --quick: the cheap "
+        "CI subset)",
+    )
+    sweep_p.add_argument(
+        "--quick", action="store_true",
+        help="cheap experiment subset for CI smoke runs",
+    )
+    sweep_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; 1 = serial in-process (bit-identical "
+        "reference path)",
+    )
+    sweep_p.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed for grid sweeps (per-trial seeds are derived)",
+    )
+    sweep_p.add_argument(
+        "--tag", default=None,
+        help="artifact name: SWEEP_<tag>.json (default: sweep name)",
+    )
+    sweep_p.add_argument("--output-dir", default=".")
+    sweep_p.add_argument(
+        "--no-artifact", action="store_true",
+        help="print tables only; skip writing SWEEP_*.json",
+    )
+    sweep_p.add_argument(
+        "--grid", action="store_true",
+        help="seeded (family, n, problem, algorithm) solve grid instead "
+        "of E-series experiments",
+    )
+    sweep_p.add_argument("--families", nargs="*", default=["path", "gnp"])
+    sweep_p.add_argument(
+        "--sizes", nargs="*", type=int, default=[16, 32, 64]
+    )
+    sweep_p.add_argument("--problems", nargs="*", default=["mis"])
+    sweep_p.add_argument(
+        "--algorithms", nargs="*", default=["theorem1"],
+        choices=("theorem1", "baseline"),
+    )
+    sweep_p.add_argument(
+        "--trials", type=int, default=1,
+        help="seeded trials per grid cell",
+    )
+    sweep_p.set_defaults(func=cmd_sweep)
 
     return parser
 

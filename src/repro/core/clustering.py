@@ -19,8 +19,8 @@ call them in tests and benchmarks after every construction step.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Hashable, Mapping
 
 from repro.errors import ClusteringError
 from repro.graphs.graph import StaticGraph

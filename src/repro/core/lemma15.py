@@ -42,7 +42,6 @@ from repro.core.cast import (
 )
 from repro.core.linial import (
     final_palette,
-    fixed_point_palette,
     linial_coloring,
     linial_duration,
 )

@@ -22,13 +22,12 @@ the label space already fits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable, Generator
 
 from repro.core.clustering import ColoredBFSClustering
 from repro.core.lemma14 import (
     lemma14_duration,
     lemma14_protocol,
-    lemma14_virtual_rounds,
 )
 from repro.core.lemma15 import (
     Lemma15Output,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Mapping
 
 from repro.graphs.graph import StaticGraph
 from repro.model.actions import AwakeAt, Broadcast

@@ -40,6 +40,15 @@ class SimulationMetrics:
         if weight > self.max_message_weight:
             self.max_message_weight = weight
 
+    def charge_message_weight_bulk(self, weight: int, count: int) -> None:
+        """Charge ``count`` messages of the same ``weight`` in one step —
+        identical totals to ``count`` single charges (used by the batched
+        broadcast delivery path)."""
+        if count:
+            self.total_message_weight += weight * count
+            if weight > self.max_message_weight:
+                self.max_message_weight = weight
+
     # -- headline numbers --------------------------------------------------
 
     @property

@@ -27,7 +27,18 @@ Event-loop engineering (PERFORMANCE.md has the measurements):
   per-neighbor message dict;
 - **lazy inboxes**: an inbox dict is allocated only for nodes that
   actually receive a message this round (pure wake/sleep phases allocate
-  nothing); outer scratch structures are reused across rounds.
+  nothing); outer scratch structures are reused across rounds;
+- **batched delivery**: rounds whose sends are all broadcasts are
+  delivered receiver-centrically — one inbox comprehension per awake
+  receiver over its neighbor tuple — instead of one dict update per
+  edge; with every node awake and broadcasting (the delivery-bound
+  lockstep pattern) the co-awake membership filter drops out entirely.
+  Rounds with dict-addressed sends keep the per-edge path, which also
+  validates targets. Inbox *insertion order* stays identical to the
+  reference loop (ascending sender id) because batched inboxes iterate
+  ``StaticGraph.adjacency``'s neighbor tuples, which the graph
+  constructors keep sorted — the per-edge path reads senders off the
+  sorted awake list, which yields the same ascending order.
 
 The pre-optimization event loop is preserved verbatim in
 :mod:`repro.model.reference` and the differential tests in
@@ -132,6 +143,7 @@ class SleepingSimulator:
         #: handed to programs (which may retain them) and stay fresh.
         inboxes: dict[NodeId, dict[NodeId, Payload]] = {}
         nbr_sets: dict[NodeId, frozenset[NodeId]] = {}
+        plist: list[Payload | None] | None = None
         carry: list[tuple[NodeId, AwakeAt]] | None = None
 
         while rounds_heap or carry is not None:
@@ -147,50 +159,65 @@ class SleepingSimulator:
 
             # Phase 1: deliver messages between co-awake neighbors.
             inboxes.clear()
-            awake_set: set[NodeId] | None = None
-            for v, action in awake:
-                messages = action.messages
-                if messages is None:
-                    continue
-                if awake_set is None:
-                    awake_set = {node for node, _ in awake}
-                if isinstance(messages, Broadcast):
-                    # Zero-copy: no per-neighbor dict is materialized.
-                    nbrs = neighbors(v)
-                    messages_sent += len(nbrs)
-                    payload = messages.payload
-                    if measure_sizes:
-                        weight = payload_weight(payload)
-                        for _ in nbrs:
-                            metrics.charge_message_weight(weight)
-                    for target in nbrs:
-                        if target in awake_set:
-                            box = inboxes.get(target)
-                            if box is None:
-                                inboxes[target] = {v: payload}
-                            else:
-                                box[v] = payload
+            # One classification pass (a C-speed comprehension): pure
+            # wake/sleep rounds skip delivery outright, broadcast-only
+            # rounds take the batched receiver-centric path, and any
+            # dict-addressed send (no ``.payload``) falls back to the
+            # per-edge path, which also validates targets.
+            try:
+                bpayloads: dict[NodeId, Payload] | None = {
+                    v: m.payload
+                    for v, action in awake
+                    if (m := action.messages) is not None
+                }
+            except AttributeError:
+                bpayloads = None
+            if bpayloads is None or 2 * len(bpayloads) < len(awake):
+                if bpayloads is None or bpayloads:
+                    messages_sent += self._deliver_per_edge(
+                        awake, inboxes, nbr_sets, metrics
+                    )
+            else:
+                adj = graph.adjacency
+                full = len(bpayloads) == graph.n
+                if measure_sizes:
+                    for v, payload in bpayloads.items():
+                        deg = len(adj[v])
+                        messages_sent += deg
+                        metrics.charge_message_weight_bulk(
+                            payload_weight(payload), deg
+                        )
+                elif full:
+                    messages_sent += 2 * graph.num_edges
                 else:
-                    nbr_set = nbr_sets.get(v)
-                    if nbr_set is None:
-                        nbr_set = nbr_sets[v] = frozenset(neighbors(v))
-                    messages_sent += len(messages)
-                    for target, payload in messages.items():
-                        if target not in nbr_set:
-                            raise SimulationError(
-                                f"node {v} tried to send to non-neighbor "
-                                f"{target}"
-                            )
-                        if measure_sizes:
-                            metrics.charge_message_weight(
-                                payload_weight(payload)
-                            )
-                        if target in awake_set:
-                            box = inboxes.get(target)
-                            if box is None:
-                                inboxes[target] = {v: payload}
-                            else:
-                                box[v] = payload
+                    for v in bpayloads:
+                        messages_sent += len(adj[v])
+                if full:
+                    # Every node is awake and broadcasting: each neighbor
+                    # is a co-awake sender — the membership filter drops
+                    # out and the inbox is one comprehension per receiver.
+                    # With dense IDs the payloads are staged in a flat
+                    # list so the per-edge fetch is an index, not a hash.
+                    top = graph.nodes[-1]
+                    if top <= 2 * graph.n:
+                        if plist is None or len(plist) <= top:
+                            plist = [None] * (top + 1)
+                        for v, payload in bpayloads.items():
+                            plist[v] = payload
+                        for v in bpayloads:
+                            inboxes[v] = {u: plist[u] for u in adj[v]}
+                    else:
+                        for v in bpayloads:
+                            inboxes[v] = {u: bpayloads[u] for u in adj[v]}
+                else:
+                    for v, _ in awake:
+                        box = {
+                            u: bpayloads[u]
+                            for u in adj[v]
+                            if u in bpayloads
+                        }
+                        if box:
+                            inboxes[v] = box
 
             # Phase 2: advance every awake node with its inbox.
             next_round = current_round + 1
@@ -258,6 +285,68 @@ class SleepingSimulator:
                 f"{len(missing)} nodes never terminated: {sorted(missing)[:5]}"
             )
         return SimulationResult(outputs=outputs, metrics=metrics, graph=graph)
+
+    def _deliver_per_edge(
+        self,
+        awake: list[tuple[NodeId, AwakeAt]],
+        inboxes: dict[NodeId, dict[NodeId, Payload]],
+        nbr_sets: dict[NodeId, frozenset[NodeId]],
+        metrics: SimulationMetrics,
+    ) -> int:
+        """Sender-centric per-edge delivery: the general path, taken when a
+        round mixes dict-addressed sends with broadcasts (it preserves the
+        sender-interleaved inbox insertion order and validates targets) or
+        when too few awake nodes broadcast for receiver-centric batching to
+        pay off. Returns the number of messages sent."""
+        graph = self._graph
+        neighbors = graph.neighbors
+        measure_sizes = self._measure_sizes
+        messages_sent = 0
+        awake_set: set[NodeId] | None = None
+        for v, action in awake:
+            messages = action.messages
+            if messages is None:
+                continue
+            if awake_set is None:
+                awake_set = {node for node, _ in awake}
+            if isinstance(messages, Broadcast):
+                # Zero-copy: no per-neighbor dict is materialized.
+                nbrs = neighbors(v)
+                messages_sent += len(nbrs)
+                payload = messages.payload
+                if measure_sizes:
+                    weight = payload_weight(payload)
+                    for _ in nbrs:
+                        metrics.charge_message_weight(weight)
+                for target in nbrs:
+                    if target in awake_set:
+                        box = inboxes.get(target)
+                        if box is None:
+                            inboxes[target] = {v: payload}
+                        else:
+                            box[v] = payload
+            else:
+                nbr_set = nbr_sets.get(v)
+                if nbr_set is None:
+                    nbr_set = nbr_sets[v] = frozenset(neighbors(v))
+                messages_sent += len(messages)
+                for target, payload in messages.items():
+                    if target not in nbr_set:
+                        raise SimulationError(
+                            f"node {v} tried to send to non-neighbor "
+                            f"{target}"
+                        )
+                    if measure_sizes:
+                        metrics.charge_message_weight(
+                            payload_weight(payload)
+                        )
+                    if target in awake_set:
+                        box = inboxes.get(target)
+                        if box is None:
+                            inboxes[target] = {v: payload}
+                        else:
+                            box[v] = payload
+        return messages_sent
 
 
 def _check_action(node: NodeId, action: Any, previous_round: int) -> None:

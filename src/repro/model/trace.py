@@ -10,7 +10,7 @@ tests, examples and the EXPERIMENTS.md appendix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable
 
 from repro.types import NodeId
 

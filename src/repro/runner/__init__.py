@@ -1,0 +1,45 @@
+"""The sweep-runner subsystem: sharded, deterministic experiment sweeps.
+
+Layers (each in its own module, importable independently):
+
+- :mod:`repro.runner.specs` — ``TrialSpec``/``SweepSpec``: picklable,
+  order-indexed descriptions of seeded trials, plus the deterministic
+  per-trial seed derivation;
+- :mod:`repro.runner.trials` — spec constructors (E-series experiment
+  sweeps and seeded ``(family, n, problem, seed)`` solve grids) and the
+  worker-side trial execution/aggregation against the experiment plans;
+- :mod:`repro.runner.executor` — ``run_sweep``: serial with
+  ``workers=1`` (the bit-identical reference path) or sharded across a
+  ``multiprocessing`` pool, with ordered result aggregation and
+  worker-crash surfacing;
+- :mod:`repro.runner.artifacts` — ``SWEEP_*.json`` artifact output with
+  a deterministic ``tables`` section (identical for any worker count).
+
+The CLI entry point is ``python -m repro sweep`` (see :mod:`repro.cli`).
+"""
+
+from repro.runner.artifacts import sweep_artifact_payload, write_sweep_artifact
+from repro.runner.executor import SweepError, SweepResult, TrialOutcome, run_sweep
+from repro.runner.specs import SweepSpec, TrialSpec, derive_seed
+from repro.runner.trials import (
+    aggregate_sweep,
+    execute_trial,
+    sweep_from_experiments,
+    sweep_from_grid,
+)
+
+__all__ = [
+    "SweepError",
+    "SweepResult",
+    "SweepSpec",
+    "TrialOutcome",
+    "TrialSpec",
+    "aggregate_sweep",
+    "derive_seed",
+    "execute_trial",
+    "run_sweep",
+    "sweep_artifact_payload",
+    "sweep_from_experiments",
+    "sweep_from_grid",
+    "write_sweep_artifact",
+]

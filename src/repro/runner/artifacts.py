@@ -1,0 +1,69 @@
+"""``SWEEP_*.json`` artifact output.
+
+The artifact has two layers:
+
+- a **deterministic** layer — the sweep's identity (spec, seeds) and
+  the aggregated ``tables`` (rendered markdown plus findings), which is
+  byte-identical for any worker count; the determinism tests compare
+  exactly this layer across worker counts;
+- a **provenance** layer — per-trial wall times, worker pids, the
+  worker count and total wall clock, which is expected to vary run to
+  run and is kept in separate keys (``timing``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.runner.executor import SweepResult
+
+
+def sweep_artifact_payload(result: SweepResult) -> dict[str, Any]:
+    """The JSON-able artifact content for a completed sweep."""
+    experiments = result.experiments()
+    tables = {
+        exp_id: {
+            "title": exp.title,
+            "headers": [str(h) for h in exp.headers],
+            "rows": [[str(cell) for cell in row] for row in exp.rows],
+            "findings": {str(k): str(v) for k, v in exp.findings.items()},
+            "render": exp.render(),
+        }
+        for exp_id, exp in experiments.items()
+    }
+    return {
+        "sweep": result.spec.describe(),
+        "tables": tables,
+        "timing": {
+            "workers": result.workers,
+            "wall_seconds": result.wall_seconds,
+            "trial_seconds_total": sum(o.seconds for o in result.outcomes),
+            "trials": [
+                {
+                    "label": outcome.spec.label,
+                    "seconds": outcome.seconds,
+                    "worker": outcome.worker,
+                }
+                for outcome in result.outcomes
+            ],
+        },
+    }
+
+
+def deterministic_view(payload: dict[str, Any]) -> dict[str, Any]:
+    """The subset of an artifact payload that must not depend on the
+    worker count or machine load."""
+    return {"sweep": payload["sweep"], "tables": payload["tables"]}
+
+
+def write_sweep_artifact(
+    result: SweepResult, output_dir: str | Path = ".", tag: str | None = None
+) -> Path:
+    """Write ``SWEEP_<tag>.json`` (tag defaults to the sweep name)."""
+    tag = tag or result.spec.name
+    path = Path(output_dir) / f"SWEEP_{tag}.json"
+    payload = sweep_artifact_payload(result)
+    path.write_text(json.dumps(payload, indent=2, ensure_ascii=False) + "\n")
+    return path

@@ -1,0 +1,175 @@
+"""The sweep executor: serial reference path and the sharded pool path.
+
+``run_sweep(spec, workers=1)`` executes every trial in-process, in spec
+order — this is the bit-identical reference the parallel path is judged
+against. With ``workers > 1`` trials are distributed over a
+``concurrent.futures.ProcessPoolExecutor`` (fork start method where the
+platform offers it, spawn otherwise) and collected as they finish, then
+**re-ordered by spec index** before aggregation, so the aggregate is
+independent of scheduling.
+
+Failure surfacing: an exception inside a trial is wrapped into
+:class:`SweepError` naming the trial (the remote traceback stays chained
+as ``__cause__``); a worker process that dies without raising (signal,
+``os._exit``) surfaces as a :class:`SweepError` listing the trials that
+had no result when the pool broke.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.analysis.experiments import ExperimentResult
+from repro.runner.specs import SweepSpec, TrialSpec
+from repro.runner.trials import aggregate_sweep, execute_trial
+
+
+class SweepError(RuntimeError):
+    """A trial failed or a worker process died during a sweep."""
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One executed trial: its spec, payload, and (non-deterministic)
+    execution metadata kept out of the aggregate."""
+
+    spec: TrialSpec
+    payload: Any
+    seconds: float
+    worker: int
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All trial outcomes of a sweep, in spec order."""
+
+    spec: SweepSpec
+    outcomes: tuple[TrialOutcome, ...]
+    workers: int
+    wall_seconds: float
+
+    def payloads(self) -> list[Any]:
+        return [outcome.payload for outcome in self.outcomes]
+
+    def experiments(self) -> dict[str, ExperimentResult]:
+        """Aggregate, in spec order — byte-identical for any worker count."""
+        return aggregate_sweep(self.spec.trials, self.payloads())
+
+    def render(self) -> str:
+        return "\n\n".join(r.render() for r in self.experiments().values())
+
+
+def _run_one(spec: TrialSpec) -> TrialOutcome:
+    """Execute one trial, timing it; runs in the worker (or serially)."""
+    start = time.perf_counter()
+    payload = execute_trial(spec)
+    return TrialOutcome(
+        spec=spec,
+        payload=payload,
+        seconds=time.perf_counter() - start,
+        worker=os.getpid(),
+    )
+
+
+def pool_start_method() -> str:
+    """The start method sweeps use: fork on Linux (cheap, inherits the
+    parent's imports), the platform default elsewhere (fork is unsafe
+    under macOS system frameworks — CPython switched its default to
+    spawn there for that reason)."""
+    if sys.platform == "linux":
+        return "fork"
+    return multiprocessing.get_start_method(allow_none=False)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    return multiprocessing.get_context(pool_start_method())
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    progress: Callable[[TrialOutcome], None] | None = None,
+) -> SweepResult:
+    """Execute a sweep; ``workers=1`` is serial and in-process.
+
+    Raises:
+        SweepError: a trial raised (cause chained) or a worker died.
+    """
+    start = time.perf_counter()
+    if workers <= 1:
+        outcomes = []
+        for trial in spec.trials:
+            outcome = _run_trial_checked(trial, _run_one)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    else:
+        outcomes = _run_pool(spec, workers, progress)
+    return SweepResult(
+        spec=spec,
+        outcomes=tuple(outcomes),
+        workers=max(1, workers),
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def _run_trial_checked(
+    trial: TrialSpec, runner: Callable[[TrialSpec], TrialOutcome]
+) -> TrialOutcome:
+    try:
+        return runner(trial)
+    except SweepError:
+        raise
+    except Exception as exc:
+        raise SweepError(
+            f"trial {trial.label!r} (index {trial.index}) failed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _run_pool(
+    spec: SweepSpec,
+    workers: int,
+    progress: Callable[[TrialOutcome], None] | None,
+) -> list[TrialOutcome]:
+    collected: dict[int, TrialOutcome] = {}
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+        future_to_trial = {pool.submit(_run_one, t): t for t in spec.trials}
+        pending = set(future_to_trial)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                trial = future_to_trial[future]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool as exc:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    missing = sorted(
+                        t.label
+                        for t in spec.trials
+                        if t.index not in collected
+                    )
+                    raise SweepError(
+                        f"a worker process died without raising (crash or "
+                        f"hard exit) while the sweep still owed "
+                        f"{len(missing)} trial(s): {missing[:8]}"
+                    ) from exc
+                except Exception as exc:
+                    # Don't sit through the rest of the sweep to report an
+                    # error already in hand: drop the queued trials.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise SweepError(
+                        f"trial {trial.label!r} (index {trial.index}) "
+                        f"failed in a worker: {type(exc).__name__}: {exc}"
+                    ) from exc
+                collected[trial.index] = outcome
+                if progress is not None:
+                    progress(outcome)
+    return [collected[trial.index] for trial in spec.trials]

@@ -1,0 +1,238 @@
+"""Spec constructors and worker-side trial execution.
+
+Two trial kinds:
+
+- **experiment** — one trial of an E-series :class:`ExperimentPlan`
+  (:data:`repro.analysis.experiments.TRIAL_PLANS`); the spec carries the
+  plan's id plus the trial kwargs, and the worker resolves the plan *by
+  name* in its own process, so nothing but primitives crosses the pipe;
+- **solve** — one seeded ``(graph family, n, problem, algorithm)`` run,
+  with the graph seed derived content-addressed from the sweep's master
+  seed (:func:`repro.runner.specs.derive_seed`).
+
+Aggregation (:func:`aggregate_sweep`) folds ordered payloads back
+through the plans' aggregators — the same code path the serial
+``experiment_*`` wrappers use — so a sweep's tables are byte-identical
+for any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.experiments import TRIAL_PLANS, ExperimentResult
+from repro.runner.specs import (
+    KIND_EXPERIMENT,
+    KIND_SOLVE,
+    SweepSpec,
+    TrialSpec,
+    derive_seed,
+)
+
+#: Cheap experiments for CI smoke sweeps (a few seconds serial).
+QUICK_EXPERIMENTS = ("E1", "E2", "E4", "E5", "E6", "E10")
+
+SOLVE_HEADERS = (
+    "family",
+    "n",
+    "problem",
+    "algorithm",
+    "seed",
+    "Δ",
+    "awake",
+    "avg awake",
+    "rounds",
+    "messages",
+)
+
+
+# -- spec construction -------------------------------------------------------
+
+
+def sweep_from_experiments(
+    experiments: Sequence[str] | None = None,
+    name: str = "eseries",
+    quick: bool = False,
+) -> SweepSpec:
+    """Shard the selected E-series experiments into a sweep spec."""
+    if experiments is None:
+        experiments = QUICK_EXPERIMENTS if quick else tuple(TRIAL_PLANS)
+    unknown = [e for e in experiments if e not in TRIAL_PLANS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; choose from "
+            f"{sorted(TRIAL_PLANS)}"
+        )
+    trials = []
+    for exp_id in experiments:
+        plan = TRIAL_PLANS[exp_id]
+        for label, kwargs in plan.trials():
+            trials.append(
+                TrialSpec(
+                    index=len(trials),
+                    kind=KIND_EXPERIMENT,
+                    key=exp_id,
+                    label=f"{exp_id}[{label}]",
+                    kwargs=tuple(kwargs.items()),
+                )
+            )
+    return SweepSpec(name=name, trials=tuple(trials))
+
+
+def sweep_from_grid(
+    families: Iterable[str],
+    sizes: Iterable[int],
+    problems: Iterable[str],
+    algorithms: Iterable[str] = ("theorem1",),
+    trials_per_config: int = 1,
+    master_seed: int = 0,
+    name: str = "grid",
+) -> SweepSpec:
+    """Enumerate a seeded (family, n, problem, algorithm) solve grid.
+
+    Families and problems are validated up front (like experiment ids in
+    :func:`sweep_from_experiments`), so a typo fails at spec-construction
+    time rather than inside a worker.
+    """
+    from repro.cli import GRAPH_FAMILIES, PROBLEM_ALIASES
+    from repro.olocal import PROBLEMS
+
+    bad = [f for f in families if f not in GRAPH_FAMILIES]
+    if bad:
+        raise KeyError(
+            f"unknown famil{'ies' if len(bad) > 1 else 'y'} {bad}; "
+            f"choose from {sorted(GRAPH_FAMILIES)}"
+        )
+    bad = [
+        p
+        for p in problems
+        if PROBLEM_ALIASES.get(p, p) not in PROBLEMS
+    ]
+    if bad:
+        raise KeyError(
+            f"unknown problem(s) {bad}; choose from "
+            f"{sorted(PROBLEM_ALIASES)} or {sorted(PROBLEMS)}"
+        )
+    trials = []
+    for family in families:
+        for n in sizes:
+            for problem in problems:
+                for algorithm in algorithms:
+                    for t in range(trials_per_config):
+                        seed = derive_seed(
+                            master_seed, family, n, problem, algorithm, t
+                        )
+                        trials.append(
+                            TrialSpec(
+                                index=len(trials),
+                                kind=KIND_SOLVE,
+                                key=problem,
+                                label=(
+                                    f"{family}/n={n}/{problem}/"
+                                    f"{algorithm}#{t}"
+                                ),
+                                kwargs=(
+                                    ("family", family),
+                                    ("n", n),
+                                    ("problem", problem),
+                                    ("algorithm", algorithm),
+                                    ("seed", seed),
+                                ),
+                                seed=seed,
+                            )
+                        )
+    return SweepSpec(name=name, trials=tuple(trials), master_seed=master_seed)
+
+
+# -- worker-side execution ---------------------------------------------------
+
+
+def solve_trial(
+    family: str,
+    n: int,
+    problem: str,
+    algorithm: str,
+    seed: int,
+    p: float = 0.15,
+    degree: int = 4,
+) -> dict[str, Any]:
+    """One seeded solve run; returns a single table row."""
+    from repro.cli import PROBLEM_ALIASES, build_family_graph
+    from repro.olocal import PROBLEMS
+
+    graph = build_family_graph(family, n, seed=seed, p=p, degree=degree)
+    problem_name = PROBLEM_ALIASES.get(problem, problem)
+    if problem_name not in PROBLEMS:
+        raise KeyError(
+            f"unknown problem {problem!r}; choose from "
+            f"{sorted(PROBLEM_ALIASES)} or {sorted(PROBLEMS)}"
+        )
+    problem_obj = PROBLEMS[problem_name]
+    if algorithm == "theorem1":
+        from repro.core.theorem1 import solve
+
+        result = solve(graph, problem_obj)
+    elif algorithm == "baseline":
+        from repro.core.bm21 import solve_with_baseline
+
+        result = solve_with_baseline(graph, problem_obj)
+    else:
+        raise KeyError(f"unknown algorithm {algorithm!r}; choose theorem1 or baseline")
+    metrics = result.simulation.metrics
+    row = (
+        family,
+        graph.n,
+        problem,
+        algorithm,
+        seed,
+        graph.max_degree,
+        metrics.awake_complexity,
+        round(metrics.average_awake, 2),
+        metrics.round_complexity,
+        metrics.messages_sent,
+    )
+    return {"rows": [row]}
+
+
+def execute_trial(spec: TrialSpec) -> Any:
+    """Run one trial in the current process (worker- and serial-side)."""
+    kwargs = spec.kwargs_dict()
+    if spec.kind == KIND_EXPERIMENT:
+        return TRIAL_PLANS[spec.key].run(**kwargs)
+    if spec.kind == KIND_SOLVE:
+        return solve_trial(**kwargs)
+    raise KeyError(f"unknown trial kind {spec.kind!r} ({spec.label})")
+
+
+# -- ordered aggregation -----------------------------------------------------
+
+
+def aggregate_sweep(
+    trials: Sequence[TrialSpec], payloads: Sequence[Any]
+) -> dict[str, ExperimentResult]:
+    """Fold ordered trial payloads into per-experiment results.
+
+    ``payloads[i]`` must be the payload of ``trials[i]`` — the executor
+    guarantees spec order regardless of completion order. Solve trials
+    aggregate into a single ``GRID`` table.
+    """
+    if len(trials) != len(payloads):
+        raise ValueError(f"{len(trials)} trials but {len(payloads)} payloads")
+    by_experiment: dict[str, list[Any]] = {}
+    grid_rows: list[Sequence[Any]] = []
+    for spec, payload in zip(trials, payloads):
+        if spec.kind == KIND_EXPERIMENT:
+            by_experiment.setdefault(spec.key, []).append(payload)
+        else:
+            grid_rows.extend(payload["rows"])
+    results: dict[str, ExperimentResult] = {}
+    for exp_id, group in by_experiment.items():
+        results[exp_id] = TRIAL_PLANS[exp_id].aggregate(group)
+    if grid_rows:
+        results["GRID"] = ExperimentResult(
+            exp_id="GRID",
+            title="Seeded solve sweep (family × n × problem × algorithm)",
+            headers=list(SOLVE_HEADERS),
+            rows=grid_rows,
+        )
+    return results

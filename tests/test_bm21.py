@@ -15,8 +15,6 @@ from repro.graphs import (
     cycle,
     gnp,
     path,
-    preferential_attachment,
-    random_regular,
     star,
 )
 from repro.model import SleepingSimulator

@@ -13,7 +13,7 @@ from repro.core.cast import (
     labeled_cast_duration,
 )
 from repro.errors import ProtocolError, SimulationError
-from repro.graphs import StaticGraph, caterpillar, path, random_tree, star
+from repro.graphs import caterpillar, path, random_tree, star
 from repro.model import SleepingSimulator
 
 

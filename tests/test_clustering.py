@@ -8,7 +8,7 @@ from repro.core.clustering import (
     UniquelyLabeledBFSClustering,
 )
 from repro.errors import ClusteringError
-from repro.graphs import cycle, gnp, path, star
+from repro.graphs import cycle, gnp, path
 from repro.graphs.examples import figure2_instance
 
 

@@ -95,12 +95,58 @@ def lockstep_breaker(info):
     return sorted(inbox)
 
 
+def lockstep_broadcaster(info):
+    """Every node awake and broadcasting every round — the fully batched
+    receiver-centric delivery path (no co-awake filter)."""
+    heard = ()
+    for r in range(1, 8):
+        inbox = yield AwakeAt(r, Broadcast((info.id, r)))
+        heard = tuple(sorted(inbox))
+    return heard
+
+
+def sparse_broadcaster(info):
+    """All nodes awake but only a few broadcast — below the batching
+    threshold, so delivery falls back to the sender-centric path."""
+    total = 0
+    for r in range(1, 6):
+        if info.id <= 2:
+            inbox = yield AwakeAt(r, Broadcast(info.id * r))
+        else:
+            inbox = yield AwakeAt(r)
+        total += sum(inbox.values())
+    return total
+
+
+def mixed_sender(info):
+    """Broadcasts and dict-addressed sends in the *same* round — the
+    batched classifier must bail out to the per-edge path."""
+    if info.id % 2 == 0:
+        inbox = yield AwakeAt(1, Broadcast(("b", info.id)))
+    else:
+        inbox = yield AwakeAt(1, {u: ("d", info.id) for u in info.neighbors})
+    return sorted(inbox.items())
+
+
+def order_observer(info):
+    """Returns the *raw* inbox key order (no sorting): the batched
+    receiver-centric path must insert senders in the same ascending
+    order as the reference's sorted-awake sender scan."""
+    first = yield AwakeAt(1, Broadcast(info.id))
+    second = yield AwakeAt(2 + info.id % 2, Broadcast(-info.id))
+    return (list(first), list(second))
+
+
 PROGRAMS = [
     staggered_broadcaster,
     directed_sender,
     early_terminator,
     lockstep_quiet,
     lockstep_breaker,
+    lockstep_broadcaster,
+    sparse_broadcaster,
+    mixed_sender,
+    order_observer,
 ]
 
 
@@ -111,8 +157,23 @@ def test_sleeping_engines_bit_identical(gname, factory, program):
 
 
 @pytest.mark.parametrize("gname,factory", GRAPHS[:3])
-def test_message_size_accounting_identical(gname, factory):
-    assert_equivalent(factory(), staggered_broadcaster, measure=True)
+@pytest.mark.parametrize(
+    "program", [staggered_broadcaster, lockstep_broadcaster, mixed_sender]
+)
+def test_message_size_accounting_identical(gname, factory, program):
+    assert_equivalent(factory(), program, measure=True)
+
+
+def test_batched_delivery_with_sparse_ids():
+    """Polynomial IDs exceed 2n, so the full-lockstep batched path must
+    use the dict route rather than the flat payload list."""
+    from repro.util.idspace import polynomial_ids
+
+    n = 24
+    g = gnp(n, 0.3, seed=4, ids=polynomial_ids(n, 2, seed=4))
+    assert g.nodes[-1] > 2 * n
+    assert_equivalent(g, lockstep_broadcaster)
+    assert_equivalent(g, lockstep_broadcaster, measure=True)
 
 
 def test_inputs_pass_through_identically():

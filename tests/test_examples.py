@@ -2,7 +2,6 @@
 headline sections (examples are part of the public API surface)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -9,7 +9,7 @@ from repro.core.lemma14 import (
     lemma14_reference,
 )
 from repro.errors import ProtocolError, SimulationError
-from repro.graphs import gnp, path
+from repro.graphs import path
 from repro.graphs.examples import figure2_instance
 from repro.model import SleepingSimulator
 

@@ -23,7 +23,7 @@ from repro.graphs import (
 from repro.graphs.examples import figure4_instance
 from repro.model import SleepingSimulator
 from repro.util.idspace import permuted_ids, polynomial_ids
-from repro.util.mathx import ceil_div, iterated_log
+from repro.util.mathx import iterated_log
 
 
 def run_distributed(graph, b):

@@ -14,7 +14,7 @@ from repro.core.linial import (
 )
 from repro.graphs import cycle, gnp, graph_square, path, random_regular, star
 from repro.model import SleepingSimulator
-from repro.util.idspace import permuted_ids, polynomial_ids
+from repro.util.idspace import polynomial_ids
 from repro.util.mathx import iterated_log, next_prime
 
 

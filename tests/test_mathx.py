@@ -1,6 +1,5 @@
 """Unit and property tests for exact integer math helpers."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

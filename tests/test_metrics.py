@@ -1,10 +1,8 @@
 """Tests for complexity accounting, including message-size measurement."""
 
-from repro.graphs import gnp, path, star
+from repro.graphs import path, star
 from repro.model import AwakeAt, Broadcast, SleepingSimulator
 from repro.model.metrics import SimulationMetrics, payload_weight
-from repro.core.theorem9 import solve_with_clustering
-from repro.core.theorem13 import compute_clustering
 
 
 class TestPayloadWeight:
@@ -63,7 +61,6 @@ class TestMeasuredSizes:
         g = star(12)
         hub = max(g.nodes, key=g.degree)
         # one big cluster (the whole star), colored 1
-        from collections import deque
 
         dist = g.bfs_distances(hub)
         clustering = ColoredBFSClustering(

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ValidationError
-from repro.graphs import complete_graph, cycle, gnp, path, star
+from repro.graphs import complete_graph, gnp, path, star
 from repro.graphs.examples import distance2_counterexample_path
 from repro.olocal import (
     PROBLEMS,

@@ -5,14 +5,10 @@ overhead bound."""
 import pytest
 
 from repro.core.clustering import UniquelyLabeledBFSClustering
-from repro.core.linial import final_palette, linial_coloring, linial_duration
-from repro.core.virtual import (
-    run_on_virtual_graph,
-    setup_duration,
-    virtual_duration,
-)
+from repro.core.linial import linial_coloring, linial_duration
+from repro.core.virtual import run_on_virtual_graph, virtual_duration
 from repro.errors import ProtocolError, SimulationError
-from repro.graphs import StaticGraph, cycle, gnp, path
+from repro.graphs import cycle, gnp, path
 from repro.graphs.examples import figure2_instance
 from repro.model import AwakeAt, SleepingSimulator
 
