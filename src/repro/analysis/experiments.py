@@ -95,12 +95,16 @@ class ExperimentPlan:
             resolve it by name) and deterministic given its kwargs.
         aggregate: folds the trial payloads, **in enumeration order**,
             into the final :class:`ExperimentResult`.
+        title: static one-line description of the experiment, shown by
+            ``repro sweep --list`` without running anything (result
+            titles may add instance parameters on top of it).
     """
 
     exp_id: str
     trials: Callable[..., list[tuple[str, dict[str, Any]]]]
     run: Callable[..., Any]
     aggregate: Callable[[list[Any]], ExperimentResult]
+    title: str = ""
 
 
 def _run_plan(plan: ExperimentPlan, **overrides: Any) -> ExperimentResult:
@@ -869,31 +873,76 @@ def experiment_e12(n: int = 40, seed: int = 23) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def _single_plan(exp_id: str, fn: Callable[[], ExperimentResult]) -> ExperimentPlan:
+def _single_plan(
+    exp_id: str, fn: Callable[[], ExperimentResult], title: str = ""
+) -> ExperimentPlan:
     """A one-trial plan for experiments with sequentially dependent phases."""
     return ExperimentPlan(
         exp_id=exp_id,
         trials=lambda: [(exp_id, {})],
         run=fn,
         aggregate=lambda payloads: payloads[0],
+        title=title,
     )
 
 
 TRIAL_PLANS: dict[str, ExperimentPlan] = {
-    "E1": ExperimentPlan("E1", _e1_trials, _e1_trial, _e1_aggregate),
-    "E2": _single_plan("E2", experiment_e2),
-    "E3": _single_plan("E3", experiment_e3),
-    "E4": _single_plan("E4", experiment_e4),
-    "E5": ExperimentPlan("E5", _e5_trials, _e5_trial, _e5_aggregate),
-    "E6": ExperimentPlan("E6", _e6_trials, _e6_trial, _e6_aggregate),
-    "E7": ExperimentPlan("E7", _e7_trials, _e7_trial, _e7_aggregate),
-    "E8a": ExperimentPlan("E8a", _e8a_trials, _e8a_trial, _e8a_aggregate),
-    "E8b": ExperimentPlan("E8b", _e8b_trials, _e8b_trial, _e8b_aggregate),
-    "E8c": ExperimentPlan("E8c", _e8c_trials, _e8c_trial, _e8c_aggregate),
-    "E9": ExperimentPlan("E9", _e9_trials, _e9_trial, _e9_aggregate),
-    "E10": ExperimentPlan("E10", _e10_trials, _e10_trial, _e10_aggregate),
-    "E11": _single_plan("E11", experiment_e11),
-    "E12": ExperimentPlan("E12", _e12_trials, _e12_trial, _e12_aggregate),
+    "E1": ExperimentPlan(
+        "E1", _e1_trials, _e1_trial, _e1_aggregate,
+        title="Lemma 10 mappings φ and r (Figure 1)",
+    ),
+    "E2": _single_plan(
+        "E2", experiment_e2,
+        title="Lemma 14 flattening on the Figure 2 instance",
+    ),
+    "E3": _single_plan(
+        "E3", experiment_e3,
+        title="Theorem 13 iteration trace (Figure 3)",
+    ),
+    "E4": _single_plan(
+        "E4", experiment_e4,
+        title="Lemma 15 on the Figure 4 instance",
+    ),
+    "E5": ExperimentPlan(
+        "E5", _e5_trials, _e5_trial, _e5_aggregate,
+        title="Lemma 6 broadcast/convergecast awake complexity",
+    ),
+    "E6": ExperimentPlan(
+        "E6", _e6_trials, _e6_trial, _e6_aggregate,
+        title="BM21 baseline (Lemma 11 + Linial): awake O(log Δ + log* n)",
+    ),
+    "E7": ExperimentPlan(
+        "E7", _e7_trials, _e7_trial, _e7_aggregate,
+        title="Theorem 9: awake vs palette c",
+    ),
+    "E8a": ExperimentPlan(
+        "E8a", _e8a_trials, _e8a_trial, _e8a_aggregate,
+        title="Theorem 13 structure at scale (centralized reference)",
+    ),
+    "E8b": ExperimentPlan(
+        "E8b", _e8b_trials, _e8b_trial, _e8b_aggregate,
+        title="Theorem 13 measured awake complexity (Sleeping simulator)",
+    ),
+    "E8c": ExperimentPlan(
+        "E8c", _e8c_trials, _e8c_trial, _e8c_aggregate,
+        title="§5 Remark: ID range vs round/awake complexity",
+    ),
+    "E9": ExperimentPlan(
+        "E9", _e9_trials, _e9_trial, _e9_aggregate,
+        title="Theorem 1 vs BM21 baseline (headline comparison)",
+    ),
+    "E10": ExperimentPlan(
+        "E10", _e10_trials, _e10_trial, _e10_aggregate,
+        title="§2.2: every 5-color sink rule is defeated on P_6",
+    ),
+    "E11": _single_plan(
+        "E11", experiment_e11,
+        title="Average vs maximum awake complexity",
+    ),
+    "E12": ExperimentPlan(
+        "E12", _e12_trials, _e12_trial, _e12_aggregate,
+        title="Ablation: the phase parameter b of Theorem 13",
+    ),
 }
 
 

@@ -32,6 +32,7 @@ from repro.graphs import (
     star,
 )
 from repro.olocal import PROBLEMS
+from repro.runner.cache import DEFAULT_CACHE_DIR
 from repro.util.idspace import permuted_ids, polynomial_ids
 from repro.util.mathx import ceil_sqrt
 
@@ -189,25 +190,48 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """``repro report``: regenerate EXPERIMENTS.md."""
-    from repro.analysis.report import main as report_main
+    """``repro report``: regenerate EXPERIMENTS.md via the sweep runner."""
+    from repro.analysis.report import write_report
+    from repro.runner import TrialCache
 
-    argv = ["--output", args.output]
-    if args.only:
-        argv += ["--only", *args.only]
-    return report_main(argv)
+    cache = TrialCache(args.cache_dir) if args.cache else None
+    return write_report(
+        args.output, selected=args.only, workers=args.workers, cache=cache
+    )
+
+
+def _print_sweep_catalog() -> int:
+    """``repro sweep --list``: what can run, without running anything."""
+    from repro.runner import plan_catalog
+    from repro.runner.trials import QUICK_EXPERIMENTS
+
+    print("E-series experiment plans (--experiments / report --only):")
+    for exp_id, title, num_trials in plan_catalog():
+        trials = f"{num_trials} trial{'s' if num_trials != 1 else ''}"
+        print(f"  {exp_id:<4} {trials:>9}  {title}")
+    print(f"quick subset (--quick): {' '.join(QUICK_EXPERIMENTS)}")
+    print()
+    print("grid axes (--grid):")
+    print(f"  families:   {' '.join(GRAPH_FAMILIES)}")
+    print(f"  problems:   {' '.join(sorted(PROBLEM_ALIASES))} "
+          f"(aliases of {' '.join(sorted(PROBLEMS))})")
+    print("  algorithms: theorem1 baseline")
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``repro sweep``: run sharded experiment sweeps (see repro.runner)."""
     from repro.runner import (
         SweepError,
+        TrialCache,
         run_sweep,
         sweep_from_experiments,
         sweep_from_grid,
         write_sweep_artifact,
     )
 
+    if args.list:
+        return _print_sweep_catalog()
     try:
         if args.grid:
             spec = sweep_from_grid(
@@ -234,25 +258,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
 
     def progress(outcome):
+        if outcome.cached:
+            note = f"cache hit, {outcome.seconds:.2f}s saved"
+        else:
+            note = f"{outcome.seconds:.2f}s, pid {outcome.worker}"
         print(
             f"  [{outcome.spec.index + 1}/{len(spec.trials)}] "
-            f"{outcome.spec.label} ({outcome.seconds:.2f}s, "
-            f"pid {outcome.worker})",
+            f"{outcome.spec.label} ({note})",
             file=sys.stderr,
         )
 
+    cache = TrialCache(args.cache_dir) if args.cache else None
     try:
-        result = run_sweep(spec, workers=args.workers, progress=progress)
+        result = run_sweep(
+            spec, workers=args.workers, progress=progress, cache=cache
+        )
     except SweepError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
     print(result.render())
-    busy = sum(o.seconds for o in result.outcomes)
-    print(
+    busy = sum(o.seconds for o in result.outcomes if not o.cached)
+    line = (
         f"\nwall {result.wall_seconds:.2f}s, trial time {busy:.2f}s, "
-        f"workers {result.workers}",
-        file=sys.stderr,
+        f"workers {result.workers}"
     )
+    if result.cache_stats is not None:
+        line += f"; cache: {result.cache_stats.summary()}"
+    print(line, file=sys.stderr)
     if not args.no_artifact:
         artifact = write_sweep_artifact(result, args.output_dir)
         print(f"wrote {artifact}", file=sys.stderr)
@@ -298,11 +330,32 @@ def make_parser() -> argparse.ArgumentParser:
     add_graph_args(cluster_p)
     cluster_p.set_defaults(func=cmd_cluster)
 
+    def add_cache_args(p):
+        p.add_argument(
+            "--cache", action=argparse.BooleanOptionalAction, default=True,
+            help="reuse trial results from the content-addressed cache "
+            "(--no-cache recomputes everything)",
+        )
+        p.add_argument(
+            "--cache-dir", default=DEFAULT_CACHE_DIR,
+            help="trial cache directory",
+        )
+
     report_p = sub.add_parser(
-        "report", help="regenerate EXPERIMENTS.md"
+        "report",
+        help="regenerate EXPERIMENTS.md (sharded over the sweep runner)",
     )
     report_p.add_argument("--output", default="EXPERIMENTS.md")
-    report_p.add_argument("--only", nargs="*", default=None)
+    report_p.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of experiment ids (see `repro sweep --list`)",
+    )
+    report_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; 1 = serial in-process (bit-identical "
+        "reference path)",
+    )
+    add_cache_args(report_p)
     report_p.set_defaults(func=cmd_report)
 
     sweep_p = sub.add_parser(
@@ -354,6 +407,12 @@ def make_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=1,
         help="seeded trials per grid cell",
     )
+    sweep_p.add_argument(
+        "--list", action="store_true",
+        help="print available experiment and grid plans (id, title, "
+        "trial count) and exit without running anything",
+    )
+    add_cache_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     return parser

@@ -8,38 +8,58 @@ Layers (each in its own module, importable independently):
 - :mod:`repro.runner.trials` — spec constructors (E-series experiment
   sweeps and seeded ``(family, n, problem, seed)`` solve grids) and the
   worker-side trial execution/aggregation against the experiment plans;
+- :mod:`repro.runner.cache` — ``TrialCache``: a content-addressed
+  on-disk store of trial results, keyed by SHA-256 of the trial's
+  identity (kind, key, kwargs, derived seed) plus a code-version salt,
+  so repeated sweeps and report regenerations skip heavy recomputation;
 - :mod:`repro.runner.executor` — ``run_sweep``: serial with
   ``workers=1`` (the bit-identical reference path) or sharded across a
-  ``multiprocessing`` pool, with ordered result aggregation and
-  worker-crash surfacing;
+  ``multiprocessing`` pool, with ordered result aggregation,
+  worker-crash surfacing, and optional cache lookup/store;
 - :mod:`repro.runner.artifacts` — ``SWEEP_*.json`` artifact output with
-  a deterministic ``tables`` section (identical for any worker count).
+  a deterministic ``tables`` section (identical for any worker count
+  and any cache state).
 
-The CLI entry point is ``python -m repro sweep`` (see :mod:`repro.cli`).
+The CLI entry points are ``python -m repro sweep`` and ``python -m
+repro report`` (see :mod:`repro.cli`).
 """
 
 from repro.runner.artifacts import sweep_artifact_payload, write_sweep_artifact
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    TrialCache,
+    code_version_salt,
+    trial_cache_key,
+)
 from repro.runner.executor import SweepError, SweepResult, TrialOutcome, run_sweep
 from repro.runner.specs import SweepSpec, TrialSpec, derive_seed
 from repro.runner.trials import (
     aggregate_sweep,
     execute_trial,
+    plan_catalog,
     sweep_from_experiments,
     sweep_from_grid,
 )
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
     "SweepError",
     "SweepResult",
     "SweepSpec",
+    "TrialCache",
     "TrialOutcome",
     "TrialSpec",
     "aggregate_sweep",
+    "code_version_salt",
     "derive_seed",
     "execute_trial",
+    "plan_catalog",
     "run_sweep",
     "sweep_artifact_payload",
     "sweep_from_experiments",
     "sweep_from_grid",
+    "trial_cache_key",
     "write_sweep_artifact",
 ]

@@ -6,9 +6,10 @@ The artifact has two layers:
   the aggregated ``tables`` (rendered markdown plus findings), which is
   byte-identical for any worker count; the determinism tests compare
   exactly this layer across worker counts;
-- a **provenance** layer — per-trial wall times, worker pids, the
-  worker count and total wall clock, which is expected to vary run to
-  run and is kept in separate keys (``timing``).
+- a **provenance** layer — per-trial wall times, worker pids, cache
+  hit/miss accounting, the worker count and total wall clock, which is
+  expected to vary run to run and is kept in separate keys
+  (``timing``).
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from repro.runner.executor import SweepResult
 def sweep_artifact_payload(result: SweepResult) -> dict[str, Any]:
     """The JSON-able artifact content for a completed sweep."""
     experiments = result.experiments()
+    stats = result.cache_stats
     tables = {
         exp_id: {
             "title": exp.title,
@@ -39,12 +41,18 @@ def sweep_artifact_payload(result: SweepResult) -> dict[str, Any]:
         "timing": {
             "workers": result.workers,
             "wall_seconds": result.wall_seconds,
-            "trial_seconds_total": sum(o.seconds for o in result.outcomes),
+            # Compute done by *this* run; cache hits carry historical
+            # times, accounted separately under ``cache.seconds_saved``.
+            "trial_seconds_total": sum(
+                o.seconds for o in result.outcomes if not o.cached
+            ),
+            "cache": None if stats is None else stats.describe(),
             "trials": [
                 {
                     "label": outcome.spec.label,
                     "seconds": outcome.seconds,
                     "worker": outcome.worker,
+                    "cached": outcome.cached,
                 }
                 for outcome in result.outcomes
             ],

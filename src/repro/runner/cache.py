@@ -1,0 +1,221 @@
+"""Content-addressed on-disk cache of trial results.
+
+A sweep's unit of work — one :class:`~repro.runner.specs.TrialSpec` —
+is deterministic given its *identity*: the trial kind, the plan or
+problem key, the kwargs, and the derived seed. The cache keys each
+stored result by the SHA-256 of exactly that identity plus a
+**code-version salt** (a digest of the ``repro`` package's source
+files), so
+
+- repeating a sweep, or regenerating EXPERIMENTS.md, skips every trial
+  already computed — including heavy reference trials such as E8a at
+  n=8192;
+- a trial's position (``index``) and display ``label`` are *not* part
+  of the key: reordering a sweep, or sharing trials between ``repro
+  sweep`` and ``repro report``, still hits;
+- any change to the package source invalidates everything (the salt
+  changes), so a stale cache can never smuggle results produced by old
+  code into a new run.
+
+Storage is one pickle file per trial under ``<cache_dir>/<key[:2]>/
+<key>.pkl`` (the two-hex-char fan-out keeps directories small), written
+atomically (temp file + ``os.replace``), so a concurrent or killed
+writer can never leave a half-written record where a reader expects a
+whole one. Reads are fail-open: a missing, corrupt, or wrong-format
+file is a **miss** (the bad file is dropped and the trial recomputed),
+never an error.
+
+Only trials whose kwargs are built from primitives (str/int/float/
+bool/None, nested in tuples or lists) are cacheable: an object kwarg's
+``repr`` may embed a memory address, which could alias two different
+trials across runs. Uncacheable trials simply execute every time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from repro.runner.specs import TrialSpec
+
+#: Default cache directory, relative to the working directory (see
+#: ``--cache-dir``); listed in .gitignore.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: On-disk record layout version — bump when the record dict changes
+#: shape; old records then read as misses.
+CACHE_FORMAT = 1
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def _has_stable_repr(value: Any) -> bool:
+    if isinstance(value, _PRIMITIVES):
+        return True
+    if isinstance(value, (tuple, list)):
+        return all(_has_stable_repr(item) for item in value)
+    return False
+
+
+def is_cacheable(spec: TrialSpec) -> bool:
+    """Whether the spec's identity can be hashed reliably (all kwargs
+    primitive, so their ``repr`` is stable across processes)."""
+    return all(_has_stable_repr(value) for _name, value in spec.kwargs)
+
+
+@lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Digest of every ``repro/**/*.py`` source file (paths + bytes).
+
+    Computed once per process; any source change — an experiment
+    tweak, an engine fix, a renamed module — yields a new salt and
+    therefore a cold cache. Deliberately eager: recomputing a few
+    already-valid trials is cheap, serving results from changed code
+    is not.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(source.relative_to(package_root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def trial_cache_key(spec: TrialSpec, salt: str) -> str | None:
+    """SHA-256 key of (salt, trial identity), or None if uncacheable.
+
+    The identity is (kind, key, kwargs, seed) — everything that
+    determines the payload, and nothing (index, label) that does not.
+    """
+    if not is_cacheable(spec):
+        return None
+    material = repr((salt, spec.kind, spec.key, spec.kwargs, spec.seed))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedTrial:
+    """A cache hit: the stored payload plus the original compute time."""
+
+    payload: Any
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Per-sweep hit/miss accounting (surfaced in CLI output and the
+    artifact's provenance layer)."""
+
+    hits: int = 0
+    misses: int = 0
+    seconds_saved: float = 0.0
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "seconds_saved": self.seconds_saved,
+        }
+
+    def summary(self) -> str:
+        """The one-line accounting both CLIs print."""
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"~{self.seconds_saved:.2f}s saved"
+        )
+
+
+class TrialCache:
+    """The on-disk store: ``load`` before running, ``store`` after.
+
+    Reads fail open (corrupt or alien files are misses); writes are
+    atomic and best-effort (a full disk degrades to "no cache", never
+    to a failed sweep).
+    """
+
+    def __init__(
+        self, cache_dir: str | Path = DEFAULT_CACHE_DIR, salt: str | None = None
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.salt = code_version_salt() if salt is None else str(salt)
+
+    def key(self, spec: TrialSpec) -> str | None:
+        return trial_cache_key(spec, self.salt)
+
+    def path_for(self, spec: TrialSpec) -> Path | None:
+        key = self.key(spec)
+        return None if key is None else self._path(key)
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def load(self, spec: TrialSpec) -> CachedTrial | None:
+        """The stored result for this trial identity, or None (miss)."""
+        key = self.key(spec)
+        if key is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+        except OSError:
+            # Missing, or transiently unreadable (permissions, flaky
+            # mount): a miss, but the file may be fine — keep it.
+            return None
+        except Exception:
+            # Corrupt, truncated, or unpicklable in this interpreter:
+            # drop the bad file and recompute.
+            self._discard(path)
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != CACHE_FORMAT
+            or "payload" not in record
+            or not isinstance(record.get("seconds", 0.0), (int, float))
+        ):
+            self._discard(path)
+            return None
+        return CachedTrial(
+            payload=record["payload"],
+            seconds=float(record.get("seconds", 0.0)),
+        )
+
+    def store(self, spec: TrialSpec, payload: Any, seconds: float) -> bool:
+        """Persist one trial result; returns False (and leaves no
+        partial file) if the trial is uncacheable or the write fails."""
+        key = self.key(spec)
+        if key is None:
+            return False
+        path = self._path(key)
+        record = {
+            "format": CACHE_FORMAT,
+            "label": spec.label,
+            "seconds": seconds,
+            "payload": payload,
+        }
+        scratch = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(scratch, "wb") as handle:
+                pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(scratch, path)
+        except Exception:
+            self._discard(scratch)
+            return False
+        return True
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -13,6 +13,14 @@ Failure surfacing: an exception inside a trial is wrapped into
 as ``__cause__``); a worker process that dies without raising (signal,
 ``os._exit``) surfaces as a :class:`SweepError` listing the trials that
 had no result when the pool broke.
+
+With a :class:`~repro.runner.cache.TrialCache`, every trial is looked
+up before execution — hits become :class:`TrialOutcome`\\ s directly
+(``cached=True``, carrying the original compute time) and only misses
+are executed (and then stored, parent-side, so there is exactly one
+writer per sweep). The cache never changes *what* a sweep computes,
+only whether it recomputes it: the aggregate stays byte-identical
+across cold, warm, serial, and sharded runs.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.analysis.experiments import ExperimentResult
+from repro.runner.cache import CacheStats, TrialCache
 from repro.runner.specs import SweepSpec, TrialSpec
 from repro.runner.trials import aggregate_sweep, execute_trial
 
@@ -38,12 +47,17 @@ class SweepError(RuntimeError):
 @dataclass(frozen=True)
 class TrialOutcome:
     """One executed trial: its spec, payload, and (non-deterministic)
-    execution metadata kept out of the aggregate."""
+    execution metadata kept out of the aggregate.
+
+    ``cached`` marks a cache hit; ``seconds`` is then the *original*
+    compute time (what the hit saved), and ``worker`` is 0.
+    """
 
     spec: TrialSpec
     payload: Any
     seconds: float
     worker: int
+    cached: bool = False
 
 
 @dataclass(frozen=True)
@@ -54,6 +68,7 @@ class SweepResult:
     outcomes: tuple[TrialOutcome, ...]
     workers: int
     wall_seconds: float
+    cache_stats: CacheStats | None = None
 
     def payloads(self) -> list[Any]:
         return [outcome.payload for outcome in self.outcomes]
@@ -96,27 +111,55 @@ def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     progress: Callable[[TrialOutcome], None] | None = None,
+    cache: TrialCache | None = None,
 ) -> SweepResult:
     """Execute a sweep; ``workers=1`` is serial and in-process.
+
+    With a ``cache``, trials whose results are already stored are not
+    re-executed; the aggregate is identical either way.
 
     Raises:
         SweepError: a trial raised (cause chained) or a worker died.
     """
     start = time.perf_counter()
+    hits: dict[int, TrialOutcome] = {}
+    if cache is not None:
+        for trial in spec.trials:
+            found = cache.load(trial)
+            if found is not None:
+                hits[trial.index] = TrialOutcome(
+                    spec=trial,
+                    payload=found.payload,
+                    seconds=found.seconds,
+                    worker=0,
+                    cached=True,
+                )
     if workers <= 1:
         outcomes = []
         for trial in spec.trials:
-            outcome = _run_trial_checked(trial, _run_one)
+            outcome = hits.get(trial.index)
+            if outcome is None:
+                outcome = _run_trial_checked(trial, _run_one)
+                if cache is not None:
+                    cache.store(trial, outcome.payload, outcome.seconds)
             outcomes.append(outcome)
             if progress is not None:
                 progress(outcome)
     else:
-        outcomes = _run_pool(spec, workers, progress)
+        outcomes = _run_pool(spec, workers, progress, hits, cache)
+    stats = None
+    if cache is not None:
+        stats = CacheStats(
+            hits=len(hits),
+            misses=len(spec.trials) - len(hits),
+            seconds_saved=sum(o.seconds for o in hits.values()),
+        )
     return SweepResult(
         spec=spec,
         outcomes=tuple(outcomes),
         workers=max(1, workers),
         wall_seconds=time.perf_counter() - start,
+        cache_stats=stats,
     )
 
 
@@ -138,10 +181,19 @@ def _run_pool(
     spec: SweepSpec,
     workers: int,
     progress: Callable[[TrialOutcome], None] | None,
+    hits: dict[int, TrialOutcome],
+    cache: TrialCache | None,
 ) -> list[TrialOutcome]:
-    collected: dict[int, TrialOutcome] = {}
+    collected: dict[int, TrialOutcome] = dict(hits)
+    if progress is not None:
+        for trial in spec.trials:
+            if trial.index in hits:
+                progress(hits[trial.index])
+    pending_trials = [t for t in spec.trials if t.index not in hits]
+    if not pending_trials:
+        return [collected[trial.index] for trial in spec.trials]
     with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        future_to_trial = {pool.submit(_run_one, t): t for t in spec.trials}
+        future_to_trial = {pool.submit(_run_one, t): t for t in pending_trials}
         pending = set(future_to_trial)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -170,6 +222,8 @@ def _run_pool(
                         f"failed in a worker: {type(exc).__name__}: {exc}"
                     ) from exc
                 collected[trial.index] = outcome
+                if cache is not None:
+                    cache.store(trial, outcome.payload, outcome.seconds)
                 if progress is not None:
                     progress(outcome)
     return [collected[trial.index] for trial in spec.trials]

@@ -49,6 +49,33 @@ SOLVE_HEADERS = (
 # -- spec construction -------------------------------------------------------
 
 
+def plan_catalog() -> list[tuple[str, str, int]]:
+    """``(experiment id, title, trial count)`` for every registered plan,
+    in registry order — what ``repro sweep --list`` prints. Enumerating
+    trials is cheap (no trial is executed)."""
+    return [
+        (exp_id, plan.title, len(plan.trials()))
+        for exp_id, plan in TRIAL_PLANS.items()
+    ]
+
+
+def validate_experiments(experiments: Sequence[str]) -> None:
+    """Reject unknown or duplicated experiment ids (KeyError listing
+    the valid ids) — shared by sweep and report id validation."""
+    unknown = [e for e in experiments if e not in TRIAL_PLANS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; choose from "
+            f"{sorted(TRIAL_PLANS)}"
+        )
+    ids = list(experiments)
+    duplicates = sorted({e for e in ids if ids.count(e) > 1})
+    if duplicates:
+        # aggregate_sweep groups payloads by experiment id, so a
+        # duplicated id would fold twice the payloads into one table.
+        raise KeyError(f"duplicate experiment id(s) {duplicates}")
+
+
 def sweep_from_experiments(
     experiments: Sequence[str] | None = None,
     name: str = "eseries",
@@ -57,12 +84,7 @@ def sweep_from_experiments(
     """Shard the selected E-series experiments into a sweep spec."""
     if experiments is None:
         experiments = QUICK_EXPERIMENTS if quick else tuple(TRIAL_PLANS)
-    unknown = [e for e in experiments if e not in TRIAL_PLANS]
-    if unknown:
-        raise KeyError(
-            f"unknown experiment(s) {unknown}; choose from "
-            f"{sorted(TRIAL_PLANS)}"
-        )
+    validate_experiments(experiments)
     trials = []
     for exp_id in experiments:
         plan = TRIAL_PLANS[exp_id]

@@ -82,7 +82,34 @@ class TestCommands:
 
     def test_report_subset(self, tmp_path, capsys):
         output = tmp_path / "EXP.md"
-        code = main(["report", "--output", str(output), "--only", "E2"])
+        code = main(
+            ["report", "--output", str(output), "--only", "E2", "--no-cache"]
+        )
         assert code == 0
         content = output.read_text()
         assert "E2 — Lemma 14" in content
+
+    def test_report_parser_defaults(self):
+        args = make_parser().parse_args(["report"])
+        assert args.workers == 1
+        assert args.cache is True
+        assert args.cache_dir == ".repro-cache"
+        assert args.only is None
+
+    def test_report_unknown_experiment_fails_listing_ids(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["report", "--output", str(tmp_path / "x.md"),
+                  "--only", "E99", "--no-cache"])
+
+    def test_report_workers_and_cache_threaded(self, tmp_path, capsys):
+        output = tmp_path / "EXP.md"
+        cache_dir = tmp_path / "cache"
+        argv = ["report", "--output", str(output), "--only", "E2",
+                "--workers", "1", "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        assert cache_dir.is_dir()
+        first = output.read_bytes()
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "1 hit(s), 0 miss(es)" in capsys.readouterr().err
+        assert output.read_bytes() == first

@@ -83,6 +83,10 @@ class TestSpecs:
         with pytest.raises(KeyError, match="E99"):
             sweep_from_experiments(["E2", "E99"])
 
+    def test_duplicate_experiment_rejected(self):
+        with pytest.raises(KeyError, match="duplicate experiment"):
+            sweep_from_experiments(["E2", "E4", "E2"])
+
     def test_experiment_sharding(self):
         spec = sweep_from_experiments(["E9"])
         # E9 shards into one trial per (n, family): 5 sizes x 3 families.
@@ -236,6 +240,25 @@ class TestSweepCli:
         assert args.experiments is None
         assert not args.quick
         assert not args.grid
+        assert not args.list
+        assert args.cache is True
+        assert args.cache_dir == ".repro-cache"
+
+    def test_parser_no_cache(self):
+        args = make_parser().parse_args(["sweep", "--no-cache"])
+        assert args.cache is False
+        args = make_parser().parse_args(["sweep", "--cache-dir", "/tmp/c"])
+        assert args.cache_dir == "/tmp/c"
+
+    def test_list_prints_catalog_without_running(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        # Every plan id with its title and trial count, plus grid axes.
+        assert "E1   11 trials  Lemma 10 mappings" in out
+        assert "E2     1 trial  Lemma 14 flattening" in out
+        assert "E9   15 trials" in out
+        assert "families:" in out
+        assert "algorithms: theorem1 baseline" in out
 
     def test_parser_experiment_selection(self):
         argv = ["sweep", "--experiments", "E1", "E9", "--workers", "4"]
@@ -265,6 +288,7 @@ class TestSweepCli:
 
     def test_sweep_command_writes_artifact(self, tmp_path, capsys):
         argv = ["sweep", "--experiments", "E2", "E4", "--tag", "clitest"]
+        argv += ["--cache-dir", str(tmp_path / "cache")]
         code = main(argv + ["--output-dir", str(tmp_path)])
         assert code == 0
         out = capsys.readouterr().out
@@ -273,7 +297,18 @@ class TestSweepCli:
         payload = json.loads(artifact.read_text())
         assert set(payload["tables"]) == {"E2", "E4"}
         assert payload["timing"]["workers"] == 1
+        assert payload["timing"]["cache"]["misses"] == 2
         assert len(payload["sweep"]["trials"]) == 2
+
+    def test_sweep_command_warm_cache_hits(self, tmp_path, capsys):
+        argv = ["sweep", "--experiments", "E2", "E4", "--no-artifact"]
+        argv += ["--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "cache hit" in captured.err
+        assert "cache: 2 hit(s), 0 miss(es)" in captured.err
 
     def test_sweep_command_unknown_experiment_fails(self, tmp_path):
         with pytest.raises(SystemExit, match="unknown experiment"):
@@ -284,20 +319,23 @@ class TestSweepCli:
             main(["sweep", "--grid", "--families", "typo", "--no-artifact"])
 
     def test_sweep_command_no_artifact(self, tmp_path, capsys):
-        argv = ["sweep", "--experiments", "E4", "--no-artifact"]
+        argv = ["sweep", "--experiments", "E4", "--no-artifact", "--no-cache"]
         code = main(argv + ["--output-dir", str(tmp_path)])
         assert code == 0
         assert list(tmp_path.glob("SWEEP_*.json")) == []
 
     def test_sweep_command_surfaces_failures(self, monkeypatch, capsys):
         monkeypatch.setitem(TRIAL_PLANS, "EBAD", _broken_plan(_raise_trial))
-        code = main(["sweep", "--experiments", "EBAD", "--no-artifact"])
+        code = main(
+            ["sweep", "--experiments", "EBAD", "--no-artifact", "--no-cache"]
+        )
         assert code == 1
         assert "sweep failed" in capsys.readouterr().err
 
     def test_grid_sweep_cli(self, tmp_path, capsys):
         argv = ["sweep", "--grid", "--families", "path", "--sizes", "8"]
         argv += ["--problems", "mis", "--trials", "1", "--tag", "grid"]
+        argv += ["--cache-dir", str(tmp_path / "cache")]
         code = main(argv + ["--output-dir", str(tmp_path)])
         assert code == 0
         payload = json.loads((tmp_path / "SWEEP_grid.json").read_text())
