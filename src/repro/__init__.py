@@ -13,18 +13,41 @@ The package provides:
   (Lemma 7), clustering phases (Lemmas 14 & 15), the full pipeline
   (Theorem 13), the clustered solver (Theorem 9) and the headline
   :func:`solve` (Theorem 1);
+- a **unified scenario API** (:mod:`repro.api`): three registries —
+  :data:`GRAPH_FAMILIES`, :data:`PROBLEMS`, :data:`ALGORITHMS` — plus a
+  picklable :class:`Scenario` record with :func:`run_scenario` /
+  :func:`run_grid`, consumed by the CLI, the sharded sweep runner, and
+  the experiment harness alike; third-party packages extend every axis
+  via ``repro.plugins`` entry points;
 - an **experiment harness** (:mod:`repro.analysis`) regenerating every
   figure and validating every stated bound.
 
 Quickstart::
 
-    from repro import solve, MaximalIndependentSet, gnp
+    from repro import Scenario, run_scenario
 
-    graph = gnp(64, 0.1, seed=1)
-    result = solve(graph, MaximalIndependentSet())
-    print(result.awake_complexity, result.round_complexity)
+    result = run_scenario(
+        Scenario(family="gnp", n=64, seed=1, problem="mis",
+                 algorithm="theorem1")
+    )
+    assert result.ok, result.errors
+    print(result.outcome.awake_complexity, result.outcome.round_complexity)
+
+Every registered scenario axis is discoverable::
+
+    from repro import ALGORITHMS, GRAPH_FAMILIES, PROBLEMS
+
+    print(GRAPH_FAMILIES.names(), PROBLEMS.names(), ALGORITHMS.names())
 """
 
+from repro.api import (
+    RunResult,
+    Scenario,
+    run_grid,
+    run_scenario,
+    scenarios_from_grid,
+)
+from repro.core.algorithms import ALGORITHMS, AlgorithmAdapter, SolveOutcome
 from repro.core.bm21 import solve_with_baseline
 from repro.core.clustering import (
     ColoredBFSClustering,
@@ -35,6 +58,7 @@ from repro.core.theorem1 import Theorem1Result, solve
 from repro.core.theorem9 import solve_with_clustering
 from repro.core.theorem13 import compute_clustering, theorem13_reference
 from repro.graphs import StaticGraph, gnp, path, random_regular
+from repro.graphs.families import GRAPH_FAMILIES, build_family_graph
 from repro.model import AwakeAt, Broadcast, SleepingSimulator
 from repro.olocal import (
     PROBLEMS,
@@ -45,29 +69,44 @@ from repro.olocal import (
     OLocalProblem,
     sequential_greedy,
 )
+from repro.registry import Registry, RegistryError, UnknownNameError, load_plugins
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ALGORITHMS",
+    "AlgorithmAdapter",
     "AwakeAt",
     "Broadcast",
     "ColorScheduleMapping",
     "ColoredBFSClustering",
     "DegreePlusOneListColoring",
     "DeltaPlusOneColoring",
+    "GRAPH_FAMILIES",
     "MaximalIndependentSet",
     "MinimalVertexCover",
     "OLocalProblem",
     "PROBLEMS",
+    "Registry",
+    "RegistryError",
+    "RunResult",
+    "Scenario",
     "SleepingSimulator",
+    "SolveOutcome",
     "StaticGraph",
     "Theorem1Result",
     "UniquelyLabeledBFSClustering",
+    "UnknownNameError",
     "__version__",
+    "build_family_graph",
     "compute_clustering",
     "gnp",
+    "load_plugins",
     "path",
     "random_regular",
+    "run_grid",
+    "run_scenario",
+    "scenarios_from_grid",
     "sequential_greedy",
     "solve",
     "solve_with_baseline",

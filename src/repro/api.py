@@ -1,0 +1,309 @@
+"""The unified scenario API: one front door for every way to run repro.
+
+A :class:`Scenario` is a frozen, picklable description of one solve
+run — *which* graph family at *what* size with *which* IDs and seed,
+*which* problem, *which* algorithm on *which* engine, plus free-form
+``params`` validated against the registries' parameter schemas. The
+CLI's ``solve`` command, the sweep runner's grid trials, and ad-hoc
+experiment scripts all reduce to scenarios, so anything registered in
+:data:`~repro.graphs.families.GRAPH_FAMILIES`,
+:data:`~repro.olocal.PROBLEMS`, or
+:data:`~repro.core.algorithms.ALGORITHMS` — including third-party
+``repro.plugins`` entry points — is immediately runnable everywhere.
+
+- :func:`run_scenario` executes one scenario in-process and returns a
+  :class:`RunResult` (validation errors are *returned*, not raised, so
+  batch drivers can collect them);
+- :func:`run_grid` enumerates a (families × sizes × problems ×
+  algorithms × trials) grid and bridges into
+  :func:`repro.runner.executor.run_sweep`, so grids shard across worker
+  processes and hit the content-addressed trial cache for free.
+
+Quickstart::
+
+    from repro import Scenario, run_scenario
+
+    result = run_scenario(Scenario(family="gnp", n=48, problem="mis"))
+    assert result.ok
+    print(result.outcome.awake_complexity, result.outcome.round_complexity)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.core.algorithms import ALGORITHMS, SolveOutcome
+from repro.graphs.families import (
+    GRAPH_FAMILIES,
+    build_family_graph,
+    validate_id_scheme,
+)
+from repro.graphs.graph import StaticGraph
+from repro.olocal import PROBLEMS
+from repro.registry import UnknownNameError, load_plugins
+
+if TYPE_CHECKING:
+    from repro.runner.executor import SweepResult
+
+#: Scenario params every family accepts via :func:`build_family_graph`
+#: compatibility defaults (forwarded only where the schema declares them).
+_COMPAT_FAMILY_PARAMS = ("p", "degree")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A frozen, picklable description of one solve run.
+
+    ``params`` accepts a mapping at construction time and is normalized
+    to a sorted tuple of ``(name, value)`` pairs, so scenarios hash,
+    compare, and pickle deterministically. Parameter names must be
+    declared by the chosen family's or algorithm's schema (checked by
+    :meth:`validate`).
+
+    ``engine=None`` selects the algorithm's default engine.
+    """
+
+    family: str = "gnp"
+    n: int = 32
+    ids: str = "identity"
+    seed: int = 0
+    problem: str = "mis"
+    algorithm: str = "theorem1"
+    engine: str | None = None
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.params, Mapping):
+            object.__setattr__(
+                self, "params", tuple(sorted(self.params.items()))
+            )
+        else:
+            object.__setattr__(
+                self, "params", tuple(sorted(tuple(self.params)))
+            )
+
+    def params_dict(self) -> dict[str, Any]:
+        """The normalized params as a plain dict."""
+        return dict(self.params)
+
+    def with_params(self, **updates: Any) -> "Scenario":
+        """A copy with ``updates`` merged into ``params``."""
+        merged = {**self.params_dict(), **updates}
+        return replace(self, params=tuple(sorted(merged.items())))
+
+    def validate(self) -> list[str]:
+        """All validation errors (empty list = runnable).
+
+        Checks registry membership of family/problem/algorithm, engine
+        support, the ID scheme, the size, and that every param name is
+        declared by the family's or the algorithm's schema. Plugins are
+        loaded first, so entry-point registrations count.
+        """
+        load_plugins()
+        errors: list[str] = []
+        allowed: set[str] = set(_COMPAT_FAMILY_PARAMS)
+        try:
+            allowed |= set(GRAPH_FAMILIES.entry(self.family).params)
+        except UnknownNameError as exc:
+            errors.append(str(exc.args[0]))
+        try:
+            PROBLEMS.get(self.problem)
+        except UnknownNameError as exc:
+            errors.append(str(exc.args[0]))
+        try:
+            entry = ALGORITHMS.entry(self.algorithm)
+            allowed |= set(entry.params)
+            adapter = entry.value
+            if self.engine is not None and self.engine not in adapter.engines:
+                errors.append(
+                    f"algorithm {entry.name!r} does not support engine "
+                    f"{self.engine!r}; supported: {list(adapter.engines)}"
+                )
+        except UnknownNameError as exc:
+            errors.append(str(exc.args[0]))
+        if self.n < 1:
+            errors.append(f"n must be >= 1, got {self.n}")
+        try:
+            validate_id_scheme(self.ids)
+        except UnknownNameError as exc:
+            errors.append(str(exc.args[0]))
+        unknown = sorted(set(self.params_dict()) - allowed)
+        if unknown:
+            errors.append(
+                f"unknown scenario param(s) {unknown}; declared: "
+                f"{sorted(allowed)}"
+            )
+        return errors
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able identity of the scenario."""
+        return {
+            "family": self.family,
+            "n": self.n,
+            "ids": self.ids,
+            "seed": self.seed,
+            "problem": self.problem,
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "params": self.params_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What :func:`run_scenario` returns — outcome *or* errors.
+
+    Attributes:
+        scenario: the scenario as run.
+        errors: validation errors; non-empty means nothing executed.
+        graph: the instantiated graph (``None`` when validation failed).
+        outcome: the algorithm's uniform :class:`SolveOutcome`
+            (``None`` when validation failed).
+    """
+
+    scenario: Scenario
+    errors: tuple[str, ...] = ()
+    graph: StaticGraph | None = None
+    outcome: SolveOutcome | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when the scenario validated and ran to completion."""
+        return not self.errors
+
+
+def run_scenario(scenario: Scenario) -> RunResult:
+    """Validate and execute one scenario in-process.
+
+    Deterministic: the same scenario always produces the same outputs
+    and the same awake/round/message accounting. Validation errors are
+    returned on the :class:`RunResult` (check ``result.ok``); genuine
+    runtime failures — a solver bug, an invalid solution — still raise.
+    """
+    errors = scenario.validate()
+    if errors:
+        return RunResult(scenario=scenario, errors=tuple(errors))
+    params = scenario.params_dict()
+    adapter_entry = ALGORITHMS.entry(scenario.algorithm)
+    family_entry = GRAPH_FAMILIES.entry(scenario.family)
+    family_params = {
+        k: v for k, v in params.items() if k in family_entry.params
+    }
+    algo_params = {
+        k: v for k, v in params.items() if k in adapter_entry.params
+    }
+    graph = build_family_graph(
+        scenario.family,
+        scenario.n,
+        seed=scenario.seed,
+        ids=scenario.ids,
+        **family_params,
+    )
+    outcome = adapter_entry.value.solve(
+        graph,
+        PROBLEMS.get(scenario.problem),
+        engine=scenario.engine,
+        **algo_params,
+    )
+    return RunResult(scenario=scenario, graph=graph, outcome=outcome)
+
+
+def run_grid(
+    families: Iterable[str] = ("path", "gnp"),
+    sizes: Iterable[int] = (16, 32),
+    problems: Iterable[str] = ("mis",),
+    algorithms: Iterable[str] = ("theorem1",),
+    trials: int = 1,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Any = None,
+    name: str = "grid",
+    progress: Any = None,
+) -> "SweepResult":
+    """Run a seeded scenario grid through the sharded sweep runner.
+
+    The grid is enumerated by
+    :func:`repro.runner.trials.sweep_from_grid` (per-trial seeds are
+    content-addressed off ``seed``) and executed by
+    :func:`repro.runner.executor.run_sweep` — so ``workers > 1`` shards
+    across processes and the aggregated tables are byte-identical for
+    any worker count. Caching is opt-in here (unlike the CLI, which
+    defaults it on): pass ``cache=TrialCache()`` to serve repeated
+    trials from the content-addressed store instead of recomputing.
+    Unknown names raise ``KeyError`` listing the valid registry names,
+    before anything runs.
+
+    Returns the runner's ``SweepResult`` (``.experiments()`` for
+    tables, ``.render()`` for markdown).
+    """
+    from repro.runner.executor import run_sweep
+    from repro.runner.trials import sweep_from_grid
+
+    load_plugins()
+    spec = sweep_from_grid(
+        families=tuple(families),
+        sizes=tuple(sizes),
+        problems=tuple(problems),
+        algorithms=tuple(algorithms),
+        trials_per_config=trials,
+        master_seed=seed,
+        name=name,
+    )
+    return run_sweep(spec, workers=workers, progress=progress, cache=cache)
+
+
+def scenarios_from_grid(
+    families: Iterable[str],
+    sizes: Iterable[int],
+    problems: Iterable[str],
+    algorithms: Iterable[str] = ("theorem1",),
+    trials: int = 1,
+    seed: int = 0,
+) -> list[Scenario]:
+    """The scenarios a :func:`run_grid` call would execute, in trial
+    order — with the same content-addressed per-trial seeds — for
+    callers that want to run or inspect them individually."""
+    from repro.runner.specs import derive_seed
+
+    result: list[Scenario] = []
+    for family in families:
+        for n in sizes:
+            for problem in problems:
+                for algorithm in algorithms:
+                    for t in range(trials):
+                        result.append(
+                            Scenario(
+                                family=family,
+                                n=n,
+                                seed=derive_seed(
+                                    seed, family, n, problem, algorithm, t
+                                ),
+                                problem=problem,
+                                algorithm=algorithm,
+                            )
+                        )
+    return result
+
+
+def catalog() -> dict[str, tuple[str, ...]]:
+    """Canonical names of every registered family, problem, and
+    algorithm (plugins included) — the axes of the scenario space."""
+    load_plugins()
+    return {
+        "families": GRAPH_FAMILIES.names(),
+        "problems": PROBLEMS.names(),
+        "algorithms": ALGORITHMS.names(),
+    }
+
+
+__all__ = [
+    "RunResult",
+    "Scenario",
+    "SolveOutcome",
+    "catalog",
+    "load_plugins",
+    "run_grid",
+    "run_scenario",
+    "scenarios_from_grid",
+]

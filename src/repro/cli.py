@@ -1,107 +1,59 @@
 """Command-line interface: run the paper's algorithms from a shell.
 
+Every ``solve`` invocation is a :class:`repro.api.Scenario`; the valid
+``--family`` / ``--problem`` / ``--algorithm`` names come from the
+registries (:data:`repro.graphs.families.GRAPH_FAMILIES`,
+:data:`repro.olocal.PROBLEMS`, :data:`repro.core.algorithms.ALGORITHMS`
+— see ``repro sweep --list`` for the catalog), so anything registered
+there — including third-party ``repro.plugins`` entry points — is
+runnable here with no CLI changes. Unknown names exit with an error
+listing the valid ones.
+
 Examples::
 
     python -m repro solve --family gnp --n 48 --problem mis
     python -m repro solve --family complete --n 16 --algorithm baseline \
         --problem coloring --trace
+    python -m repro solve --family path --n 24 --algorithm theorem9
     python -m repro cluster --family grid --n 36 --b 4
     python -m repro report --only E1 E5
     python -m repro sweep --experiments E9 --workers 4
     python -m repro sweep --grid --families path gnp --sizes 16 32 \
-        --problems mis coloring --trials 3 --workers 4
+        --problems mis coloring --algorithms theorem1 theorem9 \
+        --trials 3 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
-from repro.graphs import (
-    StaticGraph,
-    complete_graph,
-    cycle,
-    gnp,
-    grid,
-    hypercube,
-    path,
-    preferential_attachment,
-    random_regular,
-    random_tree,
-    star,
-)
+from repro.api import Scenario, run_scenario
+from repro.core.algorithms import ALGORITHMS
+from repro.graphs import StaticGraph
+from repro.graphs.families import GRAPH_FAMILIES
+from repro.graphs.families import build_family_graph as _build_family_graph
 from repro.olocal import PROBLEMS
+from repro.registry import load_plugins
 from repro.runner.cache import DEFAULT_CACHE_DIR
-from repro.util.idspace import permuted_ids, polynomial_ids
-from repro.util.mathx import ceil_sqrt
 
-PROBLEM_ALIASES = {
-    "coloring": "delta_plus_one_coloring",
-    "mis": "maximal_independent_set",
-    "list-coloring": "degree_plus_one_list_coloring",
-    "vertex-cover": "minimal_vertex_cover",
-}
-
-#: Family name -> builder(n, seed, p, degree, id_assignment). The single
-#: source of truth for what build_family_graph (and therefore the sweep
-#: runner's grid specs) understands.
-_FAMILY_BUILDERS: dict[str, Callable[..., "StaticGraph"]] = {
-    "path": lambda n, seed, p, degree, ids: path(n, ids),
-    "cycle": lambda n, seed, p, degree, ids: cycle(n, ids),
-    "star": lambda n, seed, p, degree, ids: star(n, ids),
-    "complete": lambda n, seed, p, degree, ids: complete_graph(n, ids),
-    "grid": lambda n, seed, p, degree, ids: grid(
-        ceil_sqrt(n), ceil_sqrt(n), None
-    ),
-    "hypercube": lambda n, seed, p, degree, ids: hypercube(
-        max(1, n.bit_length() - 1), None
-    ),
-    "tree": lambda n, seed, p, degree, ids: random_tree(n, seed=seed, ids=ids),
-    "gnp": lambda n, seed, p, degree, ids: gnp(n, p, seed=seed, ids=ids),
-    "regular": lambda n, seed, p, degree, ids: random_regular(
-        n if (n * degree) % 2 == 0 else n + 1, degree, seed=seed, ids=None,
-    ),
-    "powerlaw": lambda n, seed, p, degree, ids: preferential_attachment(
-        n, max(2, n // 16), seed=seed, ids=ids
-    ),
-}
-
-#: Families build_family_graph understands (sweep specs validate against
-#: this up front, before any trial runs).
-GRAPH_FAMILIES = tuple(sorted(_FAMILY_BUILDERS))
+#: Deprecated shim — alias → canonical problem name. The aliases now
+#: live on the registry entries; import :data:`repro.olocal.PROBLEMS`
+#: and use ``PROBLEMS.resolve(name)`` instead.
+PROBLEM_ALIASES = PROBLEMS.alias_map()
 
 
-def build_family_graph(
-    family: str,
-    n: int,
-    *,
-    seed: int = 0,
-    p: float = 0.15,
-    degree: int = 4,
-    ids: str = "identity",
-) -> StaticGraph:
-    """Instantiate a graph family with an ID scheme (shared by the CLI
-    commands and the sweep runner's seeded solve grids)."""
-    builder = _FAMILY_BUILDERS.get(family)
-    if builder is None:
-        raise KeyError(
-            f"unknown family {family!r}; choose from "
-            f"{sorted(_FAMILY_BUILDERS)}"
-        )
-    id_assignment = None
-    if ids == "permuted":
-        id_assignment = permuted_ids(n, seed=seed)
-    elif ids.startswith("poly"):
-        exponent = int(ids[4:] or 2)
-        id_assignment = polynomial_ids(n, exponent=exponent, seed=seed)
-    return builder(n, seed, p, degree, id_assignment)
+def build_family_graph(*args, **kwargs) -> StaticGraph:
+    """Deprecated shim — moved to
+    :func:`repro.graphs.families.build_family_graph` (kept so pre-registry
+    imports from ``repro.cli`` keep working)."""
+    return _build_family_graph(*args, **kwargs)
 
 
 def build_graph(args: argparse.Namespace) -> StaticGraph:
     """Instantiate the requested graph family with the requested ID scheme."""
     try:
-        return build_family_graph(
+        return _build_family_graph(
             args.family, args.n, seed=args.seed, p=args.p,
             degree=args.degree, ids=args.ids,
         )
@@ -109,57 +61,73 @@ def build_graph(args: argparse.Namespace) -> StaticGraph:
         raise SystemExit(exc.args[0]) from exc
 
 
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """The ``solve`` arguments as a :class:`Scenario`."""
+    params: dict[str, object] = {"p": args.p, "degree": args.degree}
+    if args.b is not None:
+        # --b is forwarded only to algorithms that declare it (theorem1,
+        # theorem9); for the others it has always been a no-op — keep
+        # that, but say so instead of failing scenario validation.
+        entry = None
+        if args.algorithm in ALGORITHMS:
+            entry = ALGORITHMS.entry(args.algorithm)
+        if entry is None or "b" in entry.params:
+            params["b"] = args.b
+        else:
+            print(
+                f"note: --b is ignored by algorithm {entry.name!r}",
+                file=sys.stderr,
+            )
+    return Scenario(
+        family=args.family,
+        n=args.n,
+        ids=args.ids,
+        seed=args.seed,
+        problem=args.problem,
+        algorithm=args.algorithm,
+        engine=args.engine,
+        params=params,
+    )
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
-    """``repro solve``: run Theorem 1 or the baseline on a generated graph."""
-    graph = build_graph(args)
-    problem_name = PROBLEM_ALIASES.get(args.problem, args.problem)
-    if problem_name not in PROBLEMS:
-        raise SystemExit(
-            f"unknown problem {args.problem!r}; choose from "
-            f"{sorted(PROBLEM_ALIASES)} or {sorted(PROBLEMS)}"
-        )
-    problem = PROBLEMS[problem_name]
+    """``repro solve``: run any registered algorithm on a generated graph."""
+    result = run_scenario(_scenario_from_args(args))
+    if not result.ok:
+        raise SystemExit("\n".join(result.errors))
+    graph, outcome = result.graph, result.outcome
     print(f"graph: {args.family} n={graph.n} edges={graph.num_edges} "
           f"Δ={graph.max_degree} id_space={graph.id_space}")
-
-    if args.algorithm == "theorem1":
-        from repro.core.theorem1 import solve
-
-        result = solve(graph, problem, b=args.b)
-        metrics = result.simulation.metrics
-        print(f"theorem1: awake={result.awake_complexity} "
-              f"avg={metrics.average_awake:.1f} "
-              f"rounds={result.round_complexity:,} "
-              f"messages={metrics.messages_sent:,}")
-        print(f"clustering: {result.clustering.num_colors()} colors "
-              f"(bound {result.palette_bound})")
-    else:
-        from repro.core.bm21 import solve_with_baseline
-
-        result = solve_with_baseline(graph, problem)
-        metrics = result.simulation.metrics
-        print(f"baseline: awake={result.awake_complexity} "
-              f"avg={metrics.average_awake:.1f} "
-              f"rounds={result.round_complexity:,}")
-
+    print(f"{outcome.algorithm}: awake={outcome.awake_complexity} "
+          f"avg={outcome.average_awake:.1f} "
+          f"rounds={outcome.round_complexity:,} "
+          f"messages={outcome.messages_sent:,}")
+    if "clustering_colors" in outcome.extras:
+        print(f"clustering: {outcome.extras['clustering_colors']} colors "
+              f"(bound {outcome.extras['palette_bound']})")
     if args.show_outputs:
-        for v in sorted(result.outputs):
-            print(f"  {v}: {result.outputs[v]}")
+        for v in sorted(outcome.outputs):
+            print(f"  {v}: {outcome.outputs[v]}")
     if args.trace:
-        _print_trace(graph, problem, args)
+        _print_trace(graph, args)
     return 0
 
 
-def _print_trace(graph, problem, args) -> None:
-    from repro.core.theorem1 import theorem1_program
-    from repro.core.bm21 import baseline_program
+def _print_trace(graph, args) -> None:
     from repro.model.trace import traced_simulation
 
-    if args.algorithm == "theorem1":
-        program = theorem1_program(problem, args.b)
-    else:
-        program = baseline_program(problem, max(graph.max_degree, 1))
-    _, trace = traced_simulation(graph, program, inputs=problem.make_inputs(graph))
+    adapter = ALGORITHMS.get(args.algorithm)
+    if adapter.trace_program is None:
+        raise SystemExit(
+            f"--trace is not supported for algorithm {adapter.name!r}; "
+            f"traceable: "
+            f"{[a.name for a in ALGORITHMS.values() if a.trace_program]}"
+        )
+    problem = PROBLEMS.get(args.problem)
+    program = adapter.trace_program(graph, problem, args.b)
+    _, trace = traced_simulation(
+        graph, program, inputs=problem.make_inputs(graph)
+    )
     sample = sorted(graph.nodes)[: args.trace_nodes]
     print()
     print(trace.render_timeline(nodes=sample))
@@ -211,11 +179,11 @@ def _print_sweep_catalog() -> int:
         print(f"  {exp_id:<4} {trials:>9}  {title}")
     print(f"quick subset (--quick): {' '.join(QUICK_EXPERIMENTS)}")
     print()
-    print("grid axes (--grid):")
-    print(f"  families:   {' '.join(GRAPH_FAMILIES)}")
-    print(f"  problems:   {' '.join(sorted(PROBLEM_ALIASES))} "
+    print("grid axes (--grid), from the scenario registries:")
+    print(f"  families:   {' '.join(sorted(GRAPH_FAMILIES))}")
+    print(f"  problems:   {' '.join(sorted(PROBLEMS.alias_map()))} "
           f"(aliases of {' '.join(sorted(PROBLEMS))})")
-    print("  algorithms: theorem1 baseline")
+    print(f"  algorithms: {' '.join(ALGORITHMS)}")
     return 0
 
 
@@ -292,7 +260,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def make_parser() -> argparse.ArgumentParser:
-    """Build the argparse tree for the ``repro`` CLI."""
+    """Build the argparse tree for the ``repro`` CLI.
+
+    Name arguments (``--family``, ``--problem``, ``--algorithm``) are
+    deliberately *not* argparse ``choices``: they are validated against
+    the registries at run time, so plugin registrations work and
+    unknown names fail with an error listing what *is* registered.
+    """
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -300,7 +274,8 @@ def make_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_graph_args(p):
-        p.add_argument("--family", default="gnp")
+        p.add_argument("--family", default="gnp",
+                       help="graph family (see `repro sweep --list`)")
         p.add_argument("--n", type=int, default=32)
         p.add_argument("--p", type=float, default=0.15)
         p.add_argument("--degree", type=int, default=4)
@@ -314,9 +289,15 @@ def make_parser() -> argparse.ArgumentParser:
 
     solve_p = sub.add_parser("solve", help="run an O-LOCAL solver")
     add_graph_args(solve_p)
-    solve_p.add_argument("--problem", default="mis")
+    solve_p.add_argument("--problem", default="mis",
+                         help="problem name or alias (see `repro sweep --list`)")
     solve_p.add_argument(
-        "--algorithm", choices=("theorem1", "baseline"), default="theorem1"
+        "--algorithm", default="theorem1",
+        help="algorithm name or alias (see `repro sweep --list`)",
+    )
+    solve_p.add_argument(
+        "--engine", default=None,
+        help="execution engine (default: the algorithm's own)",
     )
     solve_p.add_argument("--show-outputs", action="store_true")
     solve_p.add_argument("--trace", action="store_true",
@@ -345,17 +326,10 @@ def make_parser() -> argparse.ArgumentParser:
         "report",
         help="regenerate EXPERIMENTS.md (sharded over the sweep runner)",
     )
-    report_p.add_argument("--output", default="EXPERIMENTS.md")
-    report_p.add_argument(
-        "--only", nargs="*", default=None,
-        help="subset of experiment ids (see `repro sweep --list`)",
-    )
-    report_p.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes; 1 = serial in-process (bit-identical "
-        "reference path)",
-    )
-    add_cache_args(report_p)
+    # Flags are defined once, in the analysis layer, next to write_report.
+    from repro.analysis.report import add_report_args
+
+    add_report_args(report_p)
     report_p.set_defaults(func=cmd_report)
 
     sweep_p = sub.add_parser(
@@ -401,7 +375,7 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--problems", nargs="*", default=["mis"])
     sweep_p.add_argument(
         "--algorithms", nargs="*", default=["theorem1"],
-        choices=("theorem1", "baseline"),
+        help="registered algorithm names (see `repro sweep --list`)",
     )
     sweep_p.add_argument(
         "--trials", type=int, default=1,
@@ -420,6 +394,7 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    load_plugins()
     parser = make_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -9,8 +9,12 @@ Public entry points:
   BFS-clustering with 2^{O(sqrt(log n))} colors.
 - :func:`repro.core.bm21.solve_with_baseline` — the BM21 baseline with awake
   complexity O(log Δ + log* n).
+- :data:`repro.core.algorithms.ALGORITHMS` — the registry of uniform
+  algorithm adapters (``theorem1``, ``baseline``, ``theorem9``,
+  ``greedy``) every entry point dispatches through.
 """
 
+from repro.core.algorithms import ALGORITHMS, AlgorithmAdapter, SolveOutcome
 from repro.core.clustering import (
     ColoredBFSClustering,
     UniquelyLabeledBFSClustering,
@@ -18,7 +22,10 @@ from repro.core.clustering import (
 from repro.core.mapping import ColorScheduleMapping
 
 __all__ = [
+    "ALGORITHMS",
+    "AlgorithmAdapter",
     "ColoredBFSClustering",
     "ColorScheduleMapping",
+    "SolveOutcome",
     "UniquelyLabeledBFSClustering",
 ]

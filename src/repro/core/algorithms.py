@@ -1,0 +1,319 @@
+"""The algorithm registry: uniform adapters over the paper's solvers.
+
+Every entry of :data:`ALGORITHMS` is an :class:`AlgorithmAdapter` whose
+``solve`` runs one algorithm end to end on one graph and returns a
+uniform :class:`SolveOutcome` — outputs plus awake/round/message
+accounting plus an algorithm-specific ``extras`` dict. The CLI
+(``repro solve``), the sweep runner's grid trials, and
+:func:`repro.api.run_scenario` all dispatch through this registry, so
+registering an adapter once makes it runnable everywhere (and gives it
+a lane in the trial-cache key space for free).
+
+Dispatch is resolved **once per run** — registry lookups never appear
+in the simulator's per-round hot path (see PERFORMANCE.md; the engine
+benchmark gates this).
+
+Built-in adapters:
+
+- ``theorem1`` — the headline pipeline (Theorem 13 clustering + the
+  Theorem 9 clustered solver), awake O(√log n · log* n);
+- ``baseline`` — BM21 (Linial + Lemma 11), awake O(log Δ + log* n);
+- ``theorem9`` — the clustered solver alone, on a Theorem 13 clustering
+  computed out-of-band: its metrics isolate the solving stage (awake
+  O(log c)); the clustering stage's accounting rides in ``extras``;
+- ``greedy`` — the definitional *sequential* greedy (increasing-ID
+  priority), the centralized reference the distributed solvers are
+  validated against. Its Sleeping-model accounting is the sequential
+  schedule itself: every node is awake exactly once (awake = 1, average
+  = 1.0), one decision per round (rounds = n), and each edge carries
+  the earlier endpoint's output to the later one (messages = |E|).
+
+Engines: ``simulator`` runs on the Sleeping-LOCAL event loop
+(:class:`repro.model.simulator.SleepingSimulator`); ``reference`` is a
+centralized oracle with deterministic synthetic accounting. Each
+adapter declares which engines it supports; the first is its default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.graphs.graph import StaticGraph
+from repro.olocal.problem import OLocalProblem
+from repro.registry import Registry, RegistryError
+from repro.types import NodeId
+
+#: Engine names (see module docstring).
+ENGINE_SIMULATOR = "simulator"
+ENGINE_REFERENCE = "reference"
+ENGINES = (ENGINE_SIMULATOR, ENGINE_REFERENCE)
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """What every algorithm adapter returns: one uniform result record.
+
+    Attributes:
+        algorithm: canonical registry name of the algorithm that ran.
+        engine: engine that produced the accounting.
+        outputs: per-node problem outputs (validated).
+        awake_complexity: max awake rounds over all nodes.
+        average_awake: mean awake rounds per node.
+        round_complexity: last round in which any node was awake.
+        messages_sent: total messages delivered.
+        extras: algorithm-specific additions (clustering stats, palette
+            bounds, stage metrics, ...) — never required by callers.
+    """
+
+    algorithm: str
+    engine: str
+    outputs: dict[NodeId, Any]
+    awake_complexity: int
+    average_awake: float
+    round_complexity: int
+    messages_sent: int
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+#: Adapter run signature: ``run(graph, problem, engine, **params)``.
+RunFn = Callable[..., SolveOutcome]
+
+#: Trace-program factory signature: ``trace(graph, problem, b)``.
+TraceFn = Callable[[StaticGraph, OLocalProblem, int | None], Any]
+
+
+@dataclass(frozen=True)
+class AlgorithmAdapter:
+    """One registered algorithm: the run callable plus its capabilities.
+
+    Attributes:
+        name: canonical registry name.
+        run: ``run(graph, problem, engine, **params) -> SolveOutcome``.
+        engines: engines the adapter supports; ``engines[0]`` is the
+            default when a scenario leaves the engine unspecified.
+        trace_program: optional factory returning the node program for
+            ``repro solve --trace`` (``None`` — tracing unsupported).
+    """
+
+    name: str
+    run: RunFn
+    engines: tuple[str, ...] = (ENGINE_SIMULATOR,)
+    trace_program: TraceFn | None = None
+
+    @property
+    def default_engine(self) -> str:
+        """The engine used when a scenario does not pick one."""
+        return self.engines[0]
+
+    def solve(
+        self,
+        graph: StaticGraph,
+        problem: OLocalProblem,
+        engine: str | None = None,
+        **params: Any,
+    ) -> SolveOutcome:
+        """Run the algorithm; ``engine=None`` selects the default."""
+        chosen = self.default_engine if engine is None else engine
+        if chosen not in self.engines:
+            raise RegistryError(
+                f"algorithm {self.name!r} does not support engine "
+                f"{chosen!r}; supported: {list(self.engines)}"
+            )
+        return self.run(graph, problem, chosen, **params)
+
+
+#: The algorithm registry — what ``--algorithm`` names resolve through.
+ALGORITHMS: Registry[AlgorithmAdapter] = Registry("algorithm")
+
+
+def register_algorithm(
+    name: str,
+    title: str = "",
+    aliases: tuple[str, ...] = (),
+    params: Mapping[str, str] | None = None,
+    engines: tuple[str, ...] = (ENGINE_SIMULATOR,),
+    trace_program: TraceFn | None = None,
+) -> Callable[[RunFn], AlgorithmAdapter]:
+    """Decorator: wrap a run callable into a registered adapter.
+
+    The decorated function is replaced by its :class:`AlgorithmAdapter`
+    so importers get the registered object either way.
+    """
+
+    def decorator(run: RunFn) -> AlgorithmAdapter:
+        adapter = AlgorithmAdapter(
+            name=name, run=run, engines=engines, trace_program=trace_program
+        )
+        ALGORITHMS.add(name, adapter, title=title, aliases=aliases, params=params)
+        return adapter
+
+    return decorator
+
+
+def _simulation_outcome(
+    algorithm: str,
+    outputs: dict[NodeId, Any],
+    simulation: Any,
+    extras: dict[str, Any],
+) -> SolveOutcome:
+    """Fold a :class:`SimulationResult`'s metrics into a SolveOutcome."""
+    metrics = simulation.metrics
+    return SolveOutcome(
+        algorithm=algorithm,
+        engine=ENGINE_SIMULATOR,
+        outputs=outputs,
+        awake_complexity=metrics.awake_complexity,
+        average_awake=metrics.average_awake,
+        round_complexity=metrics.round_complexity,
+        messages_sent=metrics.messages_sent,
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in adapters.
+# ---------------------------------------------------------------------------
+
+
+def _trace_theorem1(
+    graph: StaticGraph, problem: OLocalProblem, b: int | None
+) -> Any:
+    """Node program for ``--trace`` (Theorem 1 pipeline)."""
+    from repro.core.theorem1 import theorem1_program
+
+    return theorem1_program(problem, b)
+
+
+def _trace_baseline(
+    graph: StaticGraph, problem: OLocalProblem, b: int | None
+) -> Any:
+    """Node program for ``--trace`` (BM21 baseline; ``b`` unused)."""
+    from repro.core.bm21 import baseline_program
+
+    return baseline_program(problem, max(graph.max_degree, 1))
+
+
+@register_algorithm(
+    "theorem1",
+    title="Theorem 1 — clustering pipeline + clustered solver, "
+    "awake O(√log n · log* n)",
+    aliases=("t1",),
+    params={"b": "override the paper's b = 2^√(log n) (ablations)"},
+    trace_program=_trace_theorem1,
+)
+def _run_theorem1(
+    graph: StaticGraph,
+    problem: OLocalProblem,
+    engine: str,
+    b: int | None = None,
+) -> SolveOutcome:
+    """Theorem 1 end to end on the Sleeping simulator."""
+    from repro.core.theorem1 import solve
+
+    result = solve(graph, problem, b=b)
+    return _simulation_outcome(
+        "theorem1",
+        result.outputs,
+        result.simulation,
+        extras={
+            "b": result.b,
+            "clustering": result.clustering,
+            "clustering_colors": result.clustering.num_colors(),
+            "palette_bound": result.palette_bound,
+        },
+    )
+
+
+@register_algorithm(
+    "baseline",
+    title="BM21 baseline — Linial + Lemma 11, awake O(log Δ + log* n)",
+    aliases=("bm21",),
+    trace_program=_trace_baseline,
+)
+def _run_baseline(
+    graph: StaticGraph, problem: OLocalProblem, engine: str
+) -> SolveOutcome:
+    """The BM21 baseline end to end on the Sleeping simulator."""
+    from repro.core.bm21 import solve_with_baseline
+
+    result = solve_with_baseline(graph, problem)
+    return _simulation_outcome(
+        "baseline",
+        result.outputs,
+        result.simulation,
+        extras={"palette": result.palette},
+    )
+
+
+@register_algorithm(
+    "theorem9",
+    title="Theorem 9 — clustered solver on a Theorem 13 clustering, "
+    "awake O(log c) (solving stage)",
+    aliases=("t9", "clustered"),
+    params={"b": "override the paper's b = 2^√(log n) (ablations)"},
+)
+def _run_theorem9(
+    graph: StaticGraph,
+    problem: OLocalProblem,
+    engine: str,
+    b: int | None = None,
+) -> SolveOutcome:
+    """Theorem 9 on a freshly computed Theorem 13 clustering.
+
+    The returned metrics cover the Theorem 9 solving stage only — the
+    point of this adapter is to isolate the awake O(log c) stage the
+    composed ``theorem1`` pipeline amortizes; the clustering stage's
+    accounting is reported in ``extras``.
+    """
+    from repro.core.theorem9 import solve_with_clustering
+    from repro.core.theorem13 import compute_clustering
+
+    clustering = compute_clustering(graph, b=b)
+    result = solve_with_clustering(graph, problem, clustering.clustering)
+    return _simulation_outcome(
+        "theorem9",
+        result.outputs,
+        result.simulation,
+        extras={
+            "b": clustering.b,
+            "palette": result.palette,
+            "clustering": clustering.clustering,
+            "clustering_colors": clustering.num_colors_used,
+            "palette_bound": clustering.palette_bound,
+            "clustering_awake": clustering.awake_complexity,
+            "clustering_rounds": clustering.round_complexity,
+        },
+    )
+
+
+@register_algorithm(
+    "greedy",
+    title="Sequential greedy reference (increasing-ID priority), "
+    "centralized oracle",
+    aliases=("reference",),
+    engines=(ENGINE_REFERENCE,),
+)
+def _run_greedy(
+    graph: StaticGraph, problem: OLocalProblem, engine: str
+) -> SolveOutcome:
+    """The definitional sequential greedy under increasing-ID priority.
+
+    Accounting is the sequential schedule itself (see the module
+    docstring): awake = 1, average = 1.0, rounds = n, messages = |E|.
+    """
+    from repro.olocal.problem import id_priority, sequential_greedy
+
+    inputs = problem.make_inputs(graph)
+    outputs = sequential_greedy(graph, problem, priority=id_priority, inputs=inputs)
+    problem.check(graph, outputs, inputs)
+    return SolveOutcome(
+        algorithm="greedy",
+        engine=ENGINE_REFERENCE,
+        outputs=outputs,
+        awake_complexity=1,
+        average_awake=1.0,
+        round_complexity=graph.n,
+        messages_sent=graph.num_edges,
+        extras={"priority": "increasing ID"},
+    )

@@ -17,9 +17,19 @@ from repro.graphs.generators import (
     star,
 )
 from repro.graphs.ops import graph_square, induced_subgraph
+from repro.graphs.families import (
+    GRAPH_FAMILIES,
+    build_family_graph,
+    resolve_id_assignment,
+    validate_id_scheme,
+)
 
 __all__ = [
+    "GRAPH_FAMILIES",
     "StaticGraph",
+    "build_family_graph",
+    "resolve_id_assignment",
+    "validate_id_scheme",
     "barbell",
     "caterpillar",
     "clustered_graph",

@@ -1,4 +1,16 @@
-"""The O-LOCAL class of graph problems (§2.2) and concrete members."""
+"""The O-LOCAL class of graph problems (§2.2) and concrete members.
+
+:data:`PROBLEMS` is the problem registry — previously a plain dict; the
+registry keeps dict-style access (``PROBLEMS[name]``, ``name in
+PROBLEMS``, iteration over canonical names) as a compatibility shim and
+adds aliases (``mis`` → ``maximal_independent_set``), titles, and
+duplicate-name protection. New problems — including third-party ones
+via the ``repro.plugins`` entry-point group — register with::
+
+    from repro.olocal import PROBLEMS
+
+    PROBLEMS.add(MyProblem().name, MyProblem(), title="...", aliases=("mine",))
+"""
 
 from repro.olocal.problem import (
     NodeView,
@@ -10,16 +22,22 @@ from repro.olocal.coloring import DeltaPlusOneColoring
 from repro.olocal.list_coloring import DegreePlusOneListColoring
 from repro.olocal.mis import MaximalIndependentSet
 from repro.olocal.vertex_cover import MinimalVertexCover
+from repro.registry import Registry
 
-PROBLEMS = {
-    problem.name: problem
-    for problem in (
-        DeltaPlusOneColoring(),
-        MaximalIndependentSet(),
+#: Registry of O-LOCAL problems, keyed by ``problem.name``.
+PROBLEMS: Registry[OLocalProblem] = Registry("problem")
+
+for _problem, _title, _aliases in (
+    (DeltaPlusOneColoring(), "(Δ+1)-coloring", ("coloring",)),
+    (MaximalIndependentSet(), "Maximal independent set", ("mis",)),
+    (
         DegreePlusOneListColoring(),
-        MinimalVertexCover(),
-    )
-}
+        "(deg+1)-list-coloring",
+        ("list-coloring",),
+    ),
+    (MinimalVertexCover(), "Minimal vertex cover", ("vertex-cover",)),
+):
+    PROBLEMS.add(_problem.name, _problem, title=_title, aliases=_aliases)
 
 __all__ = [
     "DegreePlusOneListColoring",

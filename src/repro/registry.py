@@ -1,0 +1,275 @@
+"""Generic named registries — the extension seam of the scenario API.
+
+Every axis of a runnable scenario (graph family, problem, algorithm) is
+a :class:`Registry`: an ordered mapping from canonical names to values,
+with
+
+- **decorator registration** (``@REGISTRY.register("name", ...)``) or
+  direct :meth:`Registry.add` calls;
+- **aliases** — short user-facing names (``mis`` for
+  ``maximal_independent_set``) resolved everywhere a canonical name is
+  accepted;
+- **metadata** — a human-readable ``title`` and a ``params`` schema
+  (parameter name → description) that the CLI catalog and
+  :func:`repro.api.run_scenario` validation consume;
+- **duplicate-name errors** — registering a name or alias twice raises
+  :class:`RegistryError` instead of silently shadowing;
+- **dict-compatible access** — iteration, ``in``, ``len``,
+  ``registry[name]``, ``.items()/.keys()/.values()`` all behave like
+  the plain dicts the registries replaced, so pre-registry call sites
+  keep working unchanged.
+
+Third-party packages extend the scenario space without touching repro
+source by advertising a ``repro.plugins`` entry point whose target is a
+callable; :func:`load_plugins` imports and invokes each one (the
+callable then registers into ``repro.GRAPH_FAMILIES`` /
+``repro.PROBLEMS`` / ``repro.ALGORITHMS`` with the same decorators).
+Registered names become valid immediately in ``repro solve``,
+``repro sweep --grid``, :class:`repro.api.Scenario`, and the trial
+cache key space.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Iterator, Mapping, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+#: Entry-point group scanned by :func:`load_plugins`.
+PLUGIN_GROUP = "repro.plugins"
+
+_MISSING = object()
+
+
+class RegistryError(ReproError):
+    """A registration conflict: duplicate name, colliding alias, or a
+    value wired up with parameters its schema does not declare."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A lookup failed; the message lists the valid registered names.
+
+    Subclasses :class:`KeyError` so pre-registry call sites (``except
+    KeyError`` around spec construction, ``pytest.raises(KeyError)``)
+    keep working.
+    """
+
+
+@dataclass(frozen=True)
+class RegistryEntry(Generic[T]):
+    """One registered value plus its presentation metadata.
+
+    Attributes:
+        name: canonical registry key.
+        value: the registered object (builder, problem, adapter, ...).
+        title: one-line human description (CLI catalogs, docs).
+        aliases: alternative lookup names resolving to ``name``.
+        params: parameter schema — accepted parameter name → one-line
+            description; consumed by scenario validation.
+    """
+
+    name: str
+    value: T
+    title: str = ""
+    aliases: tuple[str, ...] = ()
+    params: Mapping[str, str] = field(default_factory=dict)
+
+
+class Registry(Generic[T]):
+    """An ordered name → value mapping with aliases and metadata.
+
+    ``kind`` names what the registry holds ("family", "problem",
+    "algorithm") and is interpolated into error messages, so an unknown
+    lookup reads ``unknown family 'nope'; choose from [...]``.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry[T]] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        value: T,
+        title: str = "",
+        aliases: tuple[str, ...] | list[str] = (),
+        params: Mapping[str, str] | None = None,
+    ) -> RegistryEntry[T]:
+        """Register ``value`` under ``name``; raises :class:`RegistryError`
+        on any duplicate name or alias (including within this call)."""
+        entry = RegistryEntry(
+            name=name,
+            value=value,
+            title=title,
+            aliases=tuple(aliases),
+            params=dict(params or {}),
+        )
+        for candidate in (name, *entry.aliases):
+            if candidate in self._entries or candidate in self._aliases:
+                raise RegistryError(
+                    f"duplicate {self.kind} name {candidate!r}: already "
+                    f"registered as "
+                    f"{self._aliases.get(candidate, candidate)!r}"
+                )
+        if len(set(entry.aliases)) != len(entry.aliases) or name in entry.aliases:
+            raise RegistryError(
+                f"{self.kind} {name!r}: aliases {list(entry.aliases)} "
+                f"collide with each other or with the name"
+            )
+        self._entries[name] = entry
+        for alias in entry.aliases:
+            self._aliases[alias] = name
+        return entry
+
+    def register(
+        self,
+        name: str,
+        title: str = "",
+        aliases: tuple[str, ...] | list[str] = (),
+        params: Mapping[str, str] | None = None,
+    ) -> Callable[[T], T]:
+        """Decorator form of :meth:`add`; returns the value unchanged."""
+
+        def decorator(value: T) -> T:
+            self.add(name, value, title=title, aliases=aliases, params=params)
+            return value
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration and its aliases (plugin teardown, tests)."""
+        canonical = self.resolve(name)
+        entry = self._entries.pop(canonical)
+        for alias in entry.aliases:
+            self._aliases.pop(alias, None)
+
+    # -- lookup --------------------------------------------------------------
+
+    def resolve(self, name: str) -> str:
+        """Canonical name for ``name`` (which may be an alias); raises
+        :class:`UnknownNameError` listing the valid names."""
+        if name in self._entries:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        raise UnknownNameError(self._unknown_message(name))
+
+    def entry(self, name: str) -> RegistryEntry[T]:
+        """The full :class:`RegistryEntry` for a name or alias."""
+        return self._entries[self.resolve(name)]
+
+    def get(self, name: str, default: Any = _MISSING) -> T:
+        """The registered value for a name or alias.
+
+        Without ``default`` an unknown name raises
+        :class:`UnknownNameError` (listing valid names); with one, it is
+        returned instead — the dict-``get`` compatibility path.
+        """
+        try:
+            return self._entries[self.resolve(name)].value
+        except UnknownNameError:
+            if default is _MISSING:
+                raise
+            return default
+
+    def _unknown_message(self, name: str) -> str:
+        message = (
+            f"unknown {self.kind} {name!r}; choose from "
+            f"{sorted(self._entries)}"
+        )
+        if self._aliases:
+            message += f" (aliases: {sorted(self._aliases)})"
+        return message
+
+    # -- dict-compatible views ----------------------------------------------
+
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self._entries)})"
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names, in registration order."""
+        return tuple(self._entries)
+
+    def keys(self) -> tuple[str, ...]:
+        """Alias of :meth:`names` (dict compatibility)."""
+        return self.names()
+
+    def values(self) -> tuple[T, ...]:
+        """Registered values, in registration order."""
+        return tuple(e.value for e in self._entries.values())
+
+    def items(self) -> tuple[tuple[str, T], ...]:
+        """``(name, value)`` pairs, in registration order."""
+        return tuple((n, e.value) for n, e in self._entries.items())
+
+    def entries(self) -> tuple[RegistryEntry[T], ...]:
+        """All entries with metadata, in registration order."""
+        return tuple(self._entries.values())
+
+    def alias_map(self) -> dict[str, str]:
+        """``alias → canonical name`` for every registered alias."""
+        return dict(self._aliases)
+
+
+# ---------------------------------------------------------------------------
+# Entry-point plugin loading.
+# ---------------------------------------------------------------------------
+
+_loaded_groups: set[str] = set()
+
+
+def load_plugins(group: str = PLUGIN_GROUP, force: bool = False) -> list[str]:
+    """Load third-party scenario plugins advertised as entry points.
+
+    Scans installed distributions for entry points in ``group``, imports
+    each target, and — when the target is callable — calls it with no
+    arguments so it can register families/problems/algorithms. Runs at
+    most once per group per process (``force=True`` rescans, e.g. after
+    installing a distribution mid-process).
+
+    A plugin that fails to import or register is skipped with a
+    :class:`RuntimeWarning` — one broken plugin must not take down the
+    CLI or the API for everyone else.
+
+    Returns the entry-point names loaded by *this* call.
+    """
+    if group in _loaded_groups and not force:
+        return []
+    _loaded_groups.add(group)
+    from importlib.metadata import entry_points
+
+    loaded: list[str] = []
+    for point in entry_points(group=group):
+        try:
+            target = point.load()
+            if callable(target):
+                target()
+        except Exception as exc:  # fail open: warn, keep the rest
+            warnings.warn(
+                f"repro plugin {point.name!r} ({point.value}) failed to "
+                f"load: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        loaded.append(point.name)
+    return loaded

@@ -8,7 +8,12 @@ Two trial kinds:
   name* in its own process, so nothing but primitives crosses the pipe;
 - **solve** — one seeded ``(graph family, n, problem, algorithm)`` run,
   with the graph seed derived content-addressed from the sweep's master
-  seed (:func:`repro.runner.specs.derive_seed`).
+  seed (:func:`repro.runner.specs.derive_seed`). Families, problems,
+  and algorithms all resolve through the scenario registries
+  (:data:`repro.graphs.families.GRAPH_FAMILIES`,
+  :data:`repro.olocal.PROBLEMS`,
+  :data:`repro.core.algorithms.ALGORITHMS`), so registered plugins get
+  grid lanes — and content-addressed cache keys — for free.
 
 Aggregation (:func:`aggregate_sweep`) folds ordered payloads back
 through the plans' aggregators — the same code path the serial
@@ -112,29 +117,41 @@ def sweep_from_grid(
 ) -> SweepSpec:
     """Enumerate a seeded (family, n, problem, algorithm) solve grid.
 
-    Families and problems are validated up front (like experiment ids in
-    :func:`sweep_from_experiments`), so a typo fails at spec-construction
-    time rather than inside a worker.
+    Families, problems, and algorithms are validated against the
+    registries up front (like experiment ids in
+    :func:`sweep_from_experiments`), so a typo fails at
+    spec-construction time rather than inside a worker.
     """
-    from repro.cli import GRAPH_FAMILIES, PROBLEM_ALIASES
+    from repro.core.algorithms import ALGORITHMS
+    from repro.graphs.families import GRAPH_FAMILIES
     from repro.olocal import PROBLEMS
+    from repro.registry import load_plugins
 
+    load_plugins()
     bad = [f for f in families if f not in GRAPH_FAMILIES]
     if bad:
         raise KeyError(
             f"unknown famil{'ies' if len(bad) > 1 else 'y'} {bad}; "
             f"choose from {sorted(GRAPH_FAMILIES)}"
         )
-    bad = [
-        p
-        for p in problems
-        if PROBLEM_ALIASES.get(p, p) not in PROBLEMS
-    ]
+    bad = [p for p in problems if p not in PROBLEMS]
     if bad:
         raise KeyError(
             f"unknown problem(s) {bad}; choose from "
-            f"{sorted(PROBLEM_ALIASES)} or {sorted(PROBLEMS)}"
+            f"{sorted(PROBLEMS.alias_map())} or {sorted(PROBLEMS)}"
         )
+    bad = [a for a in algorithms if a not in ALGORITHMS]
+    if bad:
+        raise KeyError(
+            f"unknown algorithm(s) {bad}; choose from "
+            f"{sorted(ALGORITHMS)} (aliases: {sorted(ALGORITHMS.alias_map())})"
+        )
+    # Canonicalize algorithm names so an alias ("bm21") and its target
+    # ("baseline") derive the same seeds, cache keys, and table rows.
+    # Problem names stay as given: they were (alias-)accepted verbatim
+    # before the registry existed, and canonicalizing them now would
+    # shift every pre-existing trial's derived seed and cache key.
+    algorithms = [ALGORITHMS.resolve(a) for a in algorithms]
     trials = []
     for family in families:
         for n in sizes:
@@ -178,29 +195,21 @@ def solve_trial(
     p: float = 0.15,
     degree: int = 4,
 ) -> dict[str, Any]:
-    """One seeded solve run; returns a single table row."""
-    from repro.cli import PROBLEM_ALIASES, build_family_graph
+    """One seeded solve run, dispatched through the scenario registries;
+    returns a single table row.
+
+    Runs worker-side: plugins are (re)loaded here so spawned workers —
+    which do not inherit the parent's registrations — resolve the same
+    names the parent validated at spec time.
+    """
+    from repro.core.algorithms import ALGORITHMS
+    from repro.graphs.families import build_family_graph
     from repro.olocal import PROBLEMS
+    from repro.registry import load_plugins
 
+    load_plugins()
     graph = build_family_graph(family, n, seed=seed, p=p, degree=degree)
-    problem_name = PROBLEM_ALIASES.get(problem, problem)
-    if problem_name not in PROBLEMS:
-        raise KeyError(
-            f"unknown problem {problem!r}; choose from "
-            f"{sorted(PROBLEM_ALIASES)} or {sorted(PROBLEMS)}"
-        )
-    problem_obj = PROBLEMS[problem_name]
-    if algorithm == "theorem1":
-        from repro.core.theorem1 import solve
-
-        result = solve(graph, problem_obj)
-    elif algorithm == "baseline":
-        from repro.core.bm21 import solve_with_baseline
-
-        result = solve_with_baseline(graph, problem_obj)
-    else:
-        raise KeyError(f"unknown algorithm {algorithm!r}; choose theorem1 or baseline")
-    metrics = result.simulation.metrics
+    outcome = ALGORITHMS.get(algorithm).solve(graph, PROBLEMS.get(problem))
     row = (
         family,
         graph.n,
@@ -208,10 +217,10 @@ def solve_trial(
         algorithm,
         seed,
         graph.max_degree,
-        metrics.awake_complexity,
-        round(metrics.average_awake, 2),
-        metrics.round_complexity,
-        metrics.messages_sent,
+        outcome.awake_complexity,
+        round(outcome.average_awake, 2),
+        outcome.round_complexity,
+        outcome.messages_sent,
     )
     return {"rows": [row]}
 

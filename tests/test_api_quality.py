@@ -57,3 +57,30 @@ def test_public_callables_documented(module_name):
 
 def test_version_string():
     assert repro.__version__.count(".") == 2
+
+
+def test_cli_is_a_leaf_layer():
+    """Nothing in the package imports repro.cli except the CLI entry
+    points themselves — the layering inversion (runner importing graph
+    builders from the CLI) must not come back."""
+    import pathlib
+    import re
+
+    package_root = pathlib.Path(repro.__file__).resolve().parent
+    offenders = []
+    for source in sorted(package_root.rglob("*.py")):
+        if source.name in ("cli.py", "__main__.py"):
+            continue
+        if re.search(r"^\s*(from|import)\s+repro\.cli\b",
+                     source.read_text(), re.MULTILINE):
+            offenders.append(str(source.relative_to(package_root)))
+    assert not offenders, f"modules importing repro.cli: {offenders}"
+
+
+def test_registries_are_the_single_source_of_names():
+    """The package exports the three scenario registries, and they are
+    Registry instances (not the plain dicts they replaced)."""
+    from repro.registry import Registry
+
+    for name in ("GRAPH_FAMILIES", "PROBLEMS", "ALGORITHMS"):
+        assert isinstance(getattr(repro, name), Registry), name

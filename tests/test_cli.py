@@ -43,6 +43,39 @@ class TestBuildGraph:
             )
             assert build_graph(args).id_space == space
 
+    def test_unknown_id_scheme_rejected(self):
+        args = make_parser().parse_args(
+            ["solve", "--family", "gnp", "--n", "12", "--ids", "weird"]
+        )
+        with pytest.raises(SystemExit, match="unknown id scheme"):
+            build_graph(args)
+
+
+class TestDeprecatedShims:
+    """Pre-registry imports from repro.cli keep working."""
+
+    def test_build_family_graph_shim(self):
+        from repro.cli import build_family_graph
+
+        graph = build_family_graph("path", 9, seed=1)
+        assert graph.n == 9
+
+    def test_problem_aliases_shim(self):
+        from repro.cli import PROBLEM_ALIASES
+
+        assert PROBLEM_ALIASES == {
+            "coloring": "delta_plus_one_coloring",
+            "mis": "maximal_independent_set",
+            "list-coloring": "degree_plus_one_list_coloring",
+            "vertex-cover": "minimal_vertex_cover",
+        }
+
+    def test_graph_families_shim_iterates_names(self):
+        from repro.cli import GRAPH_FAMILIES
+
+        assert "gnp" in GRAPH_FAMILIES
+        assert set(GRAPH_FAMILIES) >= {"path", "cycle", "grid"}
+
 
 class TestCommands:
     def test_solve_baseline(self, capsys):
@@ -75,10 +108,69 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cluster sizes:" in out
 
+    def test_solve_theorem9(self, capsys):
+        code = main(["solve", "--family", "path", "--n", "10",
+                     "--algorithm", "theorem9", "--problem", "mis"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "theorem9: awake=" in out
+        assert "clustering:" in out
+
+    def test_solve_greedy_reference(self, capsys):
+        code = main(["solve", "--family", "path", "--n", "10",
+                     "--algorithm", "greedy", "--problem", "coloring"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "greedy: awake=1 avg=1.0 rounds=10 messages=9" in out
+
+    def test_solve_algorithm_alias_resolves(self, capsys):
+        code = main(["solve", "--family", "path", "--n", "8",
+                     "--algorithm", "bm21"])
+        assert code == 0
+        assert "baseline: awake=" in capsys.readouterr().out
+
     def test_unknown_problem_rejected(self):
         with pytest.raises(SystemExit, match="unknown problem"):
             main(["solve", "--family", "path", "--n", "8",
                   "--problem", "sudoku"])
+
+    def test_unknown_algorithm_rejected_listing_names(self):
+        # Used to fall through silently to the baseline branch; now the
+        # registry rejects it naming the valid algorithms.
+        with pytest.raises(SystemExit) as exc:
+            main(["solve", "--family", "path", "--n", "8",
+                  "--algorithm", "turbo"])
+        message = str(exc.value)
+        assert "unknown algorithm 'turbo'" in message
+        for name in ("theorem1", "baseline", "theorem9", "greedy"):
+            assert name in message
+
+    def test_unknown_family_rejected_listing_names(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["solve", "--family", "doughnut", "--n", "8"])
+        message = str(exc.value)
+        assert "unknown family 'doughnut'" in message
+        assert "'gnp'" in message and "'path'" in message
+
+    def test_b_flag_ignored_by_algorithms_without_it(self, capsys):
+        # --b has always been a no-op for the baseline; it must not
+        # start failing scenario validation.
+        code = main(["solve", "--family", "path", "--n", "8",
+                     "--algorithm", "baseline", "--b", "4"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "baseline: awake=" in captured.out
+        assert "--b is ignored" in captured.err
+
+    def test_unsupported_engine_rejected(self):
+        with pytest.raises(SystemExit, match="does not support engine"):
+            main(["solve", "--family", "path", "--n", "8",
+                  "--algorithm", "greedy", "--engine", "simulator"])
+
+    def test_trace_unsupported_for_greedy(self):
+        with pytest.raises(SystemExit, match="--trace is not supported"):
+            main(["solve", "--family", "path", "--n", "8",
+                  "--algorithm", "greedy", "--trace"])
 
     def test_report_subset(self, tmp_path, capsys):
         output = tmp_path / "EXP.md"

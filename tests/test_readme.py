@@ -1,0 +1,37 @@
+"""The README's fenced python blocks actually run (the api-smoke CI job
+executes the first one verbatim; this keeps all of them honest)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+BLOCK_RE = re.compile(r"^```python\n(.*?)^```$", re.MULTILINE | re.DOTALL)
+
+
+def python_blocks():
+    """Every fenced python block in the README, in document order."""
+    return BLOCK_RE.findall(README.read_text(encoding="utf-8"))
+
+
+def test_readme_exists_with_python_quickstart():
+    blocks = python_blocks()
+    assert len(blocks) >= 2  # quickstart + registry-extension example
+    assert "run_scenario" in blocks[0]
+
+
+@pytest.mark.slow
+def test_readme_python_blocks_execute():
+    """Run all blocks sequentially in one namespace, like a reader
+    pasting them into a session."""
+    from repro import GRAPH_FAMILIES
+
+    namespace: dict = {}
+    try:
+        for block in python_blocks():
+            exec(compile(block, str(README), "exec"), namespace)  # noqa: S102
+    finally:
+        if "barbell" in GRAPH_FAMILIES:
+            GRAPH_FAMILIES.unregister("barbell")

@@ -1,0 +1,295 @@
+"""Tests for the generic registry layer (repro.registry): registration
+semantics, alias resolution, dict compatibility, and entry-point plugin
+loading via a stub on-disk distribution."""
+
+import importlib
+import sys
+import textwrap
+
+import pytest
+
+from repro.registry import (
+    PLUGIN_GROUP,
+    Registry,
+    RegistryError,
+    UnknownNameError,
+    load_plugins,
+)
+
+
+class TestRegistration:
+    def test_add_and_get(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, title="first")
+        assert reg.get("alpha") == 1
+        assert reg["alpha"] == 1
+        assert reg.entry("alpha").title == "first"
+
+    def test_decorator_returns_value_unchanged(self):
+        reg = Registry("widget")
+
+        @reg.register("fn", title="a function")
+        def fn():
+            return 42
+
+        assert fn() == 42
+        assert reg.get("fn") is fn
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1)
+        with pytest.raises(RegistryError, match="duplicate widget name 'alpha'"):
+            reg.add("alpha", 2)
+        assert reg.get("alpha") == 1  # original untouched
+
+    def test_alias_colliding_with_name_rejected(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1)
+        with pytest.raises(RegistryError, match="duplicate"):
+            reg.add("beta", 2, aliases=("alpha",))
+
+    def test_name_colliding_with_alias_rejected(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, aliases=("a",))
+        with pytest.raises(RegistryError, match="duplicate"):
+            reg.add("a", 2)
+
+    def test_self_colliding_aliases_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(RegistryError, match="collide"):
+            reg.add("alpha", 1, aliases=("x", "x"))
+        with pytest.raises(RegistryError, match="collide"):
+            reg.add("beta", 1, aliases=("beta",))
+
+    def test_unregister_frees_name_and_aliases(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, aliases=("a",))
+        reg.unregister("a")  # aliases resolve here too
+        assert "alpha" not in reg
+        assert "a" not in reg
+        reg.add("alpha", 2, aliases=("a",))  # name reusable
+        assert reg.get("a") == 2
+
+
+class TestLookup:
+    def test_alias_resolution(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, aliases=("a", "al"))
+        assert reg.resolve("a") == "alpha"
+        assert reg.resolve("alpha") == "alpha"
+        assert reg.get("al") == 1
+        assert reg.entry("a").name == "alpha"
+
+    def test_unknown_name_lists_choices(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, aliases=("a",))
+        reg.add("beta", 2)
+        with pytest.raises(UnknownNameError) as exc:
+            reg.get("gamma")
+        message = str(exc.value)
+        assert "unknown widget 'gamma'" in message
+        assert "'alpha'" in message and "'beta'" in message
+        assert "aliases" in message
+
+    def test_unknown_name_is_a_key_error(self):
+        reg = Registry("widget")
+        with pytest.raises(KeyError):
+            reg["nope"]
+
+    def test_get_with_default(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1)
+        assert reg.get("nope", None) is None
+        assert reg.get("nope", "fallback") == "fallback"
+        assert reg.get("alpha", None) == 1
+
+
+class TestDictCompatibility:
+    """The registries replaced plain dicts; old access patterns hold."""
+
+    def _reg(self):
+        reg = Registry("widget")
+        reg.add("beta", 2, aliases=("b",))
+        reg.add("alpha", 1)
+        return reg
+
+    def test_iteration_order_and_sorted(self):
+        reg = self._reg()
+        assert list(reg) == ["beta", "alpha"]  # registration order
+        assert sorted(reg) == ["alpha", "beta"]
+
+    def test_membership_len_items(self):
+        reg = self._reg()
+        assert "alpha" in reg and "b" in reg and "nope" not in reg
+        assert len(reg) == 2
+        assert reg.items() == (("beta", 2), ("alpha", 1))
+        assert reg.keys() == reg.names() == ("beta", "alpha")
+        assert reg.values() == (2, 1)
+
+    def test_alias_map(self):
+        reg = self._reg()
+        assert reg.alias_map() == {"b": "beta"}
+
+    def test_repr_names_the_kind(self):
+        assert "widget" in repr(self._reg())
+
+
+STUB_MODULE = """\
+from repro.olocal import PROBLEMS
+from repro.olocal.problem import OLocalProblem
+
+
+class StubConstantProblem(OLocalProblem):
+    '''Every node outputs 0; trivially valid (test fixture).'''
+
+    name = "stub_constant"
+
+    def decide(self, node, decided_neighbors):
+        return 0
+
+    def validate(self, graph, outputs, inputs=None):
+        return [f"node {v}: {out}" for v, out in sorted(outputs.items())
+                if out != 0]
+
+
+def register():
+    '''Entry-point target: idempotent registration.'''
+    if StubConstantProblem.name not in PROBLEMS:
+        PROBLEMS.add(StubConstantProblem.name, StubConstantProblem(),
+                     title="Stub constant", aliases=("stub",))
+"""
+
+
+def _write_stub_distribution(root, entry_points_txt):
+    """A minimal installed distribution: a module + .dist-info metadata."""
+    (root / "repro_stub_plugin_mod.py").write_text(STUB_MODULE)
+    info = root / "repro_stub_plugin-0.1.dist-info"
+    info.mkdir()
+    (info / "METADATA").write_text(
+        "Metadata-Version: 2.1\nName: repro-stub-plugin\nVersion: 0.1\n"
+    )
+    (info / "entry_points.txt").write_text(textwrap.dedent(entry_points_txt))
+
+
+@pytest.fixture
+def stub_sys_path(tmp_path):
+    """Put tmp_path on sys.path for distribution discovery, then clean up."""
+    sys.path.insert(0, str(tmp_path))
+    importlib.invalidate_caches()
+    try:
+        yield tmp_path
+    finally:
+        sys.path.remove(str(tmp_path))
+        sys.modules.pop("repro_stub_plugin_mod", None)
+        importlib.invalidate_caches()
+
+
+class TestPluginLoading:
+    def test_entry_point_registration_end_to_end(self, stub_sys_path):
+        """A stub distribution's repro.plugins entry point registers a
+        new problem that `repro solve` and Scenario run without any
+        repro source change (tentpole acceptance criterion)."""
+        from repro.api import Scenario, run_scenario
+        from repro.cli import main
+        from repro.olocal import PROBLEMS
+
+        _write_stub_distribution(
+            stub_sys_path,
+            """\
+            [repro.plugins]
+            stub = repro_stub_plugin_mod:register
+            """,
+        )
+        loaded = load_plugins(force=True)
+        assert "stub" in loaded
+        try:
+            assert "stub_constant" in PROBLEMS
+            assert PROBLEMS.resolve("stub") == "stub_constant"
+
+            result = run_scenario(
+                Scenario(family="path", n=6, problem="stub",
+                         algorithm="greedy")
+            )
+            assert result.ok, result.errors
+            assert set(result.outcome.outputs.values()) == {0}
+
+            assert main(["solve", "--family", "path", "--n", "6",
+                         "--problem", "stub", "--algorithm", "greedy"]) == 0
+        finally:
+            PROBLEMS.unregister("stub_constant")
+
+    def test_loading_is_once_per_process_unless_forced(self, stub_sys_path):
+        _write_stub_distribution(
+            stub_sys_path,
+            """\
+            [repro.plugins]
+            stub = repro_stub_plugin_mod:register
+            """,
+        )
+        from repro.olocal import PROBLEMS
+
+        assert load_plugins() == []  # already loaded earlier in-process
+        assert load_plugins(force=True) == ["stub"]
+        try:
+            assert "stub_constant" in PROBLEMS
+        finally:
+            PROBLEMS.unregister("stub_constant")
+
+    def test_broken_plugin_warns_and_is_skipped(self, stub_sys_path):
+        (stub_sys_path / "repro_stub_plugin_mod.py").write_text(
+            "def register():\n    raise RuntimeError('boom')\n"
+        )
+        info = stub_sys_path / "repro_stub_plugin-0.1.dist-info"
+        info.mkdir()
+        (info / "METADATA").write_text(
+            "Metadata-Version: 2.1\nName: repro-stub-plugin\nVersion: 0.1\n"
+        )
+        (info / "entry_points.txt").write_text(
+            "[repro.plugins]\nbad = repro_stub_plugin_mod:register\n"
+        )
+        importlib.invalidate_caches()
+        with pytest.warns(RuntimeWarning, match="failed to load"):
+            loaded = load_plugins(force=True)
+        assert "bad" not in loaded
+
+    def test_plugin_group_constant(self):
+        assert PLUGIN_GROUP == "repro.plugins"
+
+
+class TestDecoratorExtension:
+    def test_third_party_decorator_call_makes_problem_runnable(self):
+        """The other extension route: a plain PROBLEMS.add call (no
+        packaging) is enough for `repro solve` and Scenario."""
+        from repro.api import Scenario, run_scenario
+        from repro.cli import main
+        from repro.olocal import PROBLEMS
+        from repro.olocal.problem import OLocalProblem
+
+        class EchoDegree(OLocalProblem):
+            """Every node outputs its own degree (always valid)."""
+
+            name = "echo_degree"
+
+            def decide(self, node, decided_neighbors):
+                return node.degree
+
+            def validate(self, graph, outputs, inputs=None):
+                return [
+                    f"{v}: {outputs[v]} != {graph.degree(v)}"
+                    for v in sorted(outputs)
+                    if outputs[v] != graph.degree(v)
+                ]
+
+        PROBLEMS.add("echo_degree", EchoDegree(), aliases=("echo",))
+        try:
+            result = run_scenario(
+                Scenario(family="star", n=7, problem="echo",
+                         algorithm="baseline")
+            )
+            assert result.ok, result.errors
+            hub_degree = max(result.outcome.outputs.values())
+            assert hub_degree == 6
+            assert main(["solve", "--family", "star", "--n", "7",
+                         "--problem", "echo_degree"]) == 0
+        finally:
+            PROBLEMS.unregister("echo_degree")
