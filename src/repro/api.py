@@ -33,7 +33,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
-from repro.core.algorithms import ALGORITHMS, SolveOutcome
+from repro.core.algorithms import (
+    ALGORITHMS,
+    ENGINE_FAULTY,
+    ENGINES,
+    FAULT_PARAMS,
+    SolveOutcome,
+)
 from repro.graphs.families import (
     GRAPH_FAMILIES,
     build_family_graph,
@@ -61,7 +67,12 @@ class Scenario:
     declared by the chosen family's or algorithm's schema (checked by
     :meth:`validate`).
 
-    ``engine=None`` selects the algorithm's default engine.
+    ``engine=None`` selects the algorithm's default engine — unless the
+    fault axis is active (``fault_drop``/``fault_corrupt`` nonzero), in
+    which case the ``faulty-simulator`` engine is auto-selected.
+    Setting an explicit non-faulty engine together with active fault
+    params is a validation error. The fault RNG seed is ``fault_seed``
+    when nonzero, else the scenario ``seed``.
     """
 
     family: str = "gnp"
@@ -72,6 +83,10 @@ class Scenario:
     algorithm: str = "theorem1"
     engine: str | None = None
     params: tuple[tuple[str, Any], ...] = ()
+    fault_drop: float = 0.0
+    fault_corrupt: float = 0.0
+    fault_seed: int = 0
+    immune_rounds: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.params, Mapping):
@@ -82,6 +97,35 @@ class Scenario:
             object.__setattr__(
                 self, "params", tuple(sorted(tuple(self.params)))
             )
+        object.__setattr__(
+            self, "immune_rounds", tuple(sorted(set(self.immune_rounds)))
+        )
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether the fault axis can fire for this scenario."""
+        return self.fault_drop > 0 or self.fault_corrupt > 0
+
+    def resolved_engine(self) -> str | None:
+        """The engine that will actually run.
+
+        ``None`` still means "the algorithm's default" — except active
+        fault params auto-select :data:`~repro.core.algorithms.ENGINE_FAULTY`.
+        """
+        if self.engine is None and self.faults_active:
+            return ENGINE_FAULTY
+        return self.engine
+
+    def fault_plan(self):
+        """The :class:`~repro.model.faults.FaultPlan` this scenario implies."""
+        from repro.model.faults import FaultPlan
+
+        return FaultPlan(
+            drop_probability=self.fault_drop,
+            corrupt_probability=self.fault_corrupt,
+            seed=self.fault_seed if self.fault_seed else self.seed,
+            immune_rounds=frozenset(self.immune_rounds),
+        )
 
     def params_dict(self) -> dict[str, Any]:
         """The normalized params as a plain dict."""
@@ -111,17 +155,27 @@ class Scenario:
             PROBLEMS.get(self.problem)
         except UnknownNameError as exc:
             errors.append(str(exc.args[0]))
+        engine = self.resolved_engine()
         try:
             entry = ALGORITHMS.entry(self.algorithm)
             allowed |= set(entry.params)
             adapter = entry.value
-            if self.engine is not None and self.engine not in adapter.engines:
+            if engine is not None and engine not in adapter.engines:
                 errors.append(
                     f"algorithm {entry.name!r} does not support engine "
-                    f"{self.engine!r}; supported: {list(adapter.engines)}"
+                    f"{engine!r}; supported: {list(adapter.engines)}"
                 )
         except UnknownNameError as exc:
             errors.append(str(exc.args[0]))
+        for name in ("fault_drop", "fault_corrupt"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                errors.append(f"{name} must be in [0, 1], got {value}")
+        if self.faults_active and self.engine not in (None, ENGINE_FAULTY):
+            errors.append(
+                f"fault params require engine {ENGINE_FAULTY!r} (or "
+                f"engine=None to auto-select it), not {self.engine!r}"
+            )
         if self.n < 1:
             errors.append(f"n must be >= 1, got {self.n}")
         try:
@@ -138,7 +192,7 @@ class Scenario:
 
     def describe(self) -> dict[str, Any]:
         """JSON-able identity of the scenario."""
-        return {
+        described = {
             "family": self.family,
             "n": self.n,
             "ids": self.ids,
@@ -148,6 +202,9 @@ class Scenario:
             "engine": self.engine,
             "params": self.params_dict(),
         }
+        if self.faults_active:
+            described["faults"] = self.fault_plan().describe()
+        return described
 
 
 @dataclass(frozen=True)
@@ -200,10 +257,13 @@ def run_scenario(scenario: Scenario) -> RunResult:
         ids=scenario.ids,
         **family_params,
     )
+    engine = scenario.resolved_engine()
+    if engine == ENGINE_FAULTY:
+        algo_params["fault_plan"] = scenario.fault_plan()
     outcome = adapter_entry.value.solve(
         graph,
         PROBLEMS.get(scenario.problem),
-        engine=scenario.engine,
+        engine=engine,
         **algo_params,
     )
     return RunResult(scenario=scenario, graph=graph, outcome=outcome)
@@ -220,6 +280,11 @@ def run_grid(
     cache: Any = None,
     name: str = "grid",
     progress: Any = None,
+    fault_drop: float = 0.0,
+    fault_corrupt: float = 0.0,
+    fault_seed: int = 0,
+    immune_rounds: Iterable[int] = (),
+    **runner_options: Any,
 ) -> "SweepResult":
     """Run a seeded scenario grid through the sharded sweep runner.
 
@@ -233,6 +298,12 @@ def run_grid(
     trials from the content-addressed store instead of recomputing.
     Unknown names raise ``KeyError`` listing the valid registry names,
     before anything runs.
+
+    ``fault_drop``/``fault_corrupt``/``fault_seed``/``immune_rounds``
+    put every grid trial on the ``faulty-simulator`` engine (fault-free
+    grids keep their existing cache keys). ``runner_options`` are
+    forwarded to :func:`~repro.runner.executor.run_sweep` — ``retry``,
+    ``timeout``, ``keep_going``, ``journal``, ``max_pool_restarts``.
 
     Returns the runner's ``SweepResult`` (``.experiments()`` for
     tables, ``.render()`` for markdown).
@@ -249,8 +320,15 @@ def run_grid(
         trials_per_config=trials,
         master_seed=seed,
         name=name,
+        fault_drop=fault_drop,
+        fault_corrupt=fault_corrupt,
+        fault_seed=fault_seed,
+        immune_rounds=immune_rounds,
     )
-    return run_sweep(spec, workers=workers, progress=progress, cache=cache)
+    return run_sweep(
+        spec, workers=workers, progress=progress, cache=cache,
+        **runner_options,
+    )
 
 
 def scenarios_from_grid(
@@ -286,14 +364,25 @@ def scenarios_from_grid(
     return result
 
 
-def catalog() -> dict[str, tuple[str, ...]]:
-    """Canonical names of every registered family, problem, and
-    algorithm (plugins included) — the axes of the scenario space."""
+def catalog() -> dict[str, Any]:
+    """The axes of the scenario space (plugins included).
+
+    Canonical names of every registered family, problem, and algorithm,
+    plus the engine names and the fault-axis parameter schema
+    (``fault_params``) and which algorithms accept the
+    ``faulty-simulator`` engine (``fault_capable``)."""
     load_plugins()
     return {
         "families": GRAPH_FAMILIES.names(),
         "problems": PROBLEMS.names(),
         "algorithms": ALGORITHMS.names(),
+        "engines": ENGINES,
+        "fault_params": dict(FAULT_PARAMS),
+        "fault_capable": tuple(
+            name
+            for name in ALGORITHMS.names()
+            if ENGINE_FAULTY in ALGORITHMS.get(name).engines
+        ),
     }
 
 

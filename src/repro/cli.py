@@ -29,7 +29,7 @@ import argparse
 import sys
 
 from repro.api import Scenario, run_scenario
-from repro.core.algorithms import ALGORITHMS
+from repro.core.algorithms import ALGORITHMS, ENGINE_FAULTY, FAULT_PARAMS
 from repro.graphs import StaticGraph
 from repro.graphs.families import GRAPH_FAMILIES
 from repro.graphs.families import build_family_graph as _build_family_graph
@@ -87,12 +87,29 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         algorithm=args.algorithm,
         engine=args.engine,
         params=params,
+        fault_drop=args.fault_drop,
+        fault_corrupt=args.fault_corrupt,
+        fault_seed=args.fault_seed,
+        immune_rounds=tuple(args.immune_rounds),
     )
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
     """``repro solve``: run any registered algorithm on a generated graph."""
-    result = run_scenario(_scenario_from_args(args))
+    from repro.errors import ReproError
+
+    scenario = _scenario_from_args(args)
+    try:
+        result = run_scenario(scenario)
+    except ReproError as exc:
+        if not scenario.faults_active:
+            raise
+        # Failing loudly is the *expected* outcome of a fault scenario
+        # that actually breaks the protocol — report it as a result,
+        # not a traceback.
+        print(f"faults broke the protocol (as designed): "
+              f"{type(exc).__name__}: {exc}")
+        return 3
     if not result.ok:
         raise SystemExit("\n".join(result.errors))
     graph, outcome = result.graph, result.outcome
@@ -105,6 +122,10 @@ def cmd_solve(args: argparse.Namespace) -> int:
     if "clustering_colors" in outcome.extras:
         print(f"clustering: {outcome.extras['clustering_colors']} colors "
               f"(bound {outcome.extras['palette_bound']})")
+    if "dropped" in outcome.extras:
+        print(f"faults: engine={outcome.engine} "
+              f"dropped={outcome.extras['dropped']} "
+              f"corrupted={outcome.extras['corrupted']} (run survived)")
     if args.show_outputs:
         for v in sorted(outcome.outputs):
             print(f"  {v}: {outcome.outputs[v]}")
@@ -159,12 +180,13 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """``repro report``: regenerate EXPERIMENTS.md via the sweep runner."""
-    from repro.analysis.report import write_report
+    from repro.analysis.report import report_journal, write_report
     from repro.runner import TrialCache
 
     cache = TrialCache(args.cache_dir) if args.cache else None
     return write_report(
-        args.output, selected=args.only, workers=args.workers, cache=cache
+        args.output, selected=args.only, workers=args.workers, cache=cache,
+        journal=report_journal(args),
     )
 
 
@@ -184,12 +206,42 @@ def _print_sweep_catalog() -> int:
     print(f"  problems:   {' '.join(sorted(PROBLEMS.alias_map()))} "
           f"(aliases of {' '.join(sorted(PROBLEMS))})")
     print(f"  algorithms: {' '.join(ALGORITHMS)}")
+    print()
+    print("engines (per algorithm; first listed = its default):")
+    for name in ALGORITHMS:
+        print(f"  {name:<10} {' '.join(ALGORITHMS.get(name).engines)}")
+    print(f"fault axis ({ENGINE_FAULTY} engine; solve/sweep flags):")
+    for param, doc in FAULT_PARAMS.items():
+        flag = "--" + param.replace("_", "-")
+        print(f"  {flag:<16} {doc}")
     return 0
+
+
+def _sweep_journal(args, spec):
+    """The journal a sweep writes (and, with ``--resume``, reads).
+
+    ``--resume PATH`` reuses an existing journal; otherwise a fresh
+    ``SWEEP_<name>.journal`` is written next to the artifact unless
+    journaling (``--no-journal``) or the artifact itself
+    (``--no-artifact``) is disabled.
+    """
+    import os
+
+    from repro.runner import SweepJournal
+
+    if args.resume is not None:
+        return SweepJournal(path=args.resume, resume=True)
+    if args.no_journal or args.no_artifact:
+        return None
+    return SweepJournal(
+        path=os.path.join(args.output_dir, f"SWEEP_{spec.name}.journal")
+    )
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``repro sweep``: run sharded experiment sweeps (see repro.runner)."""
     from repro.runner import (
+        RetryPolicy,
         SweepError,
         TrialCache,
         run_sweep,
@@ -210,6 +262,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 trials_per_config=args.trials,
                 master_seed=args.seed,
                 name=args.tag or "grid",
+                fault_drop=args.fault_drop,
+                fault_corrupt=args.fault_corrupt,
+                fault_seed=args.fault_seed,
+                immune_rounds=args.immune_rounds,
             )
         else:
             spec = sweep_from_experiments(
@@ -226,7 +282,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
 
     def progress(outcome):
-        if outcome.cached:
+        if outcome.resumed:
+            note = "resumed from journal"
+        elif outcome.cached:
             note = f"cache hit, {outcome.seconds:.2f}s saved"
         else:
             note = f"{outcome.seconds:.2f}s, pid {outcome.worker}"
@@ -237,21 +295,51 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     cache = TrialCache(args.cache_dir) if args.cache else None
+    retry = None
+    if args.retries > 0:
+        # CLI retries cover *any* trial exception: transient faults get
+        # retried, deterministic failures just burn their attempts.
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1,
+            retriable=(Exception,),
+            backoff_base=args.retry_backoff,
+        )
     try:
         result = run_sweep(
-            spec, workers=args.workers, progress=progress, cache=cache
+            spec,
+            workers=args.workers,
+            progress=progress,
+            cache=cache,
+            retry=retry,
+            timeout=args.timeout,
+            max_pool_restarts=args.max_pool_restarts,
+            keep_going=args.keep_going,
+            journal=_sweep_journal(args, spec),
         )
     except SweepError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
-    print(result.render())
-    busy = sum(o.seconds for o in result.outcomes if not o.cached)
+    if result.failures:
+        print(result.failure_report.render(), file=sys.stderr)
+        if not args.allow_partial:
+            print(
+                "sweep completed with failures; pass --allow-partial to "
+                "aggregate the surviving trials",
+                file=sys.stderr,
+            )
+            return 1
+    print(result.render(allow_partial=args.allow_partial))
+    busy = sum(
+        o.seconds for o in result.outcomes if not (o.cached or o.resumed)
+    )
     line = (
         f"\nwall {result.wall_seconds:.2f}s, trial time {busy:.2f}s, "
         f"workers {result.workers}"
     )
     if result.cache_stats is not None:
         line += f"; cache: {result.cache_stats.summary()}"
+    if result.pool_restarts:
+        line += f"; pool restarts: {result.pool_restarts}"
     print(line, file=sys.stderr)
     if not args.no_artifact:
         artifact = write_sweep_artifact(result, args.output_dir)
@@ -287,6 +375,20 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--b", type=int, default=None,
                        help="override b = 2^sqrt(log n)")
 
+    def add_fault_args(p):
+        g = p.add_argument_group(
+            "fault injection",
+            f"nonzero probabilities select the {ENGINE_FAULTY!r} engine",
+        )
+        g.add_argument("--fault-drop", type=float, default=0.0,
+                       help=FAULT_PARAMS["fault_drop"])
+        g.add_argument("--fault-corrupt", type=float, default=0.0,
+                       help=FAULT_PARAMS["fault_corrupt"])
+        g.add_argument("--fault-seed", type=int, default=0,
+                       help=FAULT_PARAMS["fault_seed"])
+        g.add_argument("--immune-rounds", nargs="*", type=int, default=[],
+                       help=FAULT_PARAMS["immune_rounds"])
+
     solve_p = sub.add_parser("solve", help="run an O-LOCAL solver")
     add_graph_args(solve_p)
     solve_p.add_argument("--problem", default="mis",
@@ -299,6 +401,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--engine", default=None,
         help="execution engine (default: the algorithm's own)",
     )
+    add_fault_args(solve_p)
     solve_p.add_argument("--show-outputs", action="store_true")
     solve_p.add_argument("--trace", action="store_true",
                          help="print awake timelines")
@@ -387,6 +490,49 @@ def make_parser() -> argparse.ArgumentParser:
         "trial count) and exit without running anything",
     )
     add_cache_args(sweep_p)
+    add_fault_args(sweep_p)
+    resilience = sweep_p.add_argument_group(
+        "resilience",
+        "retry/timeout/checkpoint-resume (see PERFORMANCE.md §7)",
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run a failed trial up to N more times (any exception)",
+    )
+    resilience.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base of the deterministic jittered exponential backoff "
+        "between attempts (0: retry immediately)",
+    )
+    resilience.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock deadline; a straggler raises and is "
+        "requeued through the retry path",
+    )
+    resilience.add_argument(
+        "--max-pool-restarts", type=int, default=2,
+        help="rebuild the worker pool after a hard worker death at most "
+        "this many times before giving up",
+    )
+    resilience.add_argument(
+        "--keep-going", action="store_true",
+        help="collect per-trial failures into a failure report instead "
+        "of aborting the sweep on the first one",
+    )
+    resilience.add_argument(
+        "--allow-partial", action="store_true",
+        help="aggregate the surviving trials when some failed "
+        "(with --keep-going); refused otherwise",
+    )
+    resilience.add_argument(
+        "--resume", default=None, metavar="JOURNAL",
+        help="resume from a SWEEP_*.journal: journaled trials are "
+        "skipped, new completions are appended to the same file",
+    )
+    resilience.add_argument(
+        "--no-journal", action="store_true",
+        help="do not write SWEEP_<name>.journal next to the artifact",
+    )
     sweep_p.set_defaults(func=cmd_sweep)
 
     return parser

@@ -30,12 +30,19 @@ Built-in adapters:
 
 Engines: ``simulator`` runs on the Sleeping-LOCAL event loop
 (:class:`repro.model.simulator.SleepingSimulator`); ``reference`` is a
-centralized oracle with deterministic synthetic accounting. Each
-adapter declares which engines it supports; the first is its default.
+centralized oracle with deterministic synthetic accounting;
+``faulty-simulator`` is the event loop behind a deterministic
+message-fault filter (:class:`repro.model.faults.FaultySimulator`) —
+the fault-injection axis of the scenario space. Fault runs are
+expected to **fail loudly** (``ProtocolError`` / ``ValidationError``)
+when a fault actually breaks the protocol; a run that survives reports
+its ``dropped``/``corrupted`` counts in ``extras``. Each adapter
+declares which engines it supports; the first is its default.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -47,7 +54,17 @@ from repro.types import NodeId
 #: Engine names (see module docstring).
 ENGINE_SIMULATOR = "simulator"
 ENGINE_REFERENCE = "reference"
-ENGINES = (ENGINE_SIMULATOR, ENGINE_REFERENCE)
+ENGINE_FAULTY = "faulty-simulator"
+ENGINES = (ENGINE_SIMULATOR, ENGINE_REFERENCE, ENGINE_FAULTY)
+
+#: Parameter schema of the fault axis — what ``catalog()`` and ``repro
+#: sweep --list`` surface for the ``faulty-simulator`` engine.
+FAULT_PARAMS: dict[str, str] = {
+    "fault_drop": "per-message drop probability in [0, 1]",
+    "fault_corrupt": "per-message corruption probability in [0, 1]",
+    "fault_seed": "fault RNG seed (0: derived from the scenario seed)",
+    "immune_rounds": "rounds in which no fault fires (tuple of ints)",
+}
 
 
 @dataclass(frozen=True)
@@ -156,12 +173,13 @@ def _simulation_outcome(
     outputs: dict[NodeId, Any],
     simulation: Any,
     extras: dict[str, Any],
+    engine: str = ENGINE_SIMULATOR,
 ) -> SolveOutcome:
     """Fold a :class:`SimulationResult`'s metrics into a SolveOutcome."""
     metrics = simulation.metrics
     return SolveOutcome(
         algorithm=algorithm,
-        engine=ENGINE_SIMULATOR,
+        engine=engine,
         outputs=outputs,
         awake_complexity=metrics.awake_complexity,
         average_awake=metrics.average_awake,
@@ -169,6 +187,82 @@ def _simulation_outcome(
         messages_sent=metrics.messages_sent,
         extras=extras,
     )
+
+
+class _FaultInjector:
+    """Per-run fault wiring for simulator-backed adapters.
+
+    When the chosen engine is :data:`ENGINE_FAULTY`, acts as the
+    ``simulator`` factory the core solvers accept, constructing a
+    :class:`~repro.model.faults.FaultySimulator` and remembering it so
+    the adapter can report ``dropped``/``corrupted`` counts. On the
+    plain engines it resolves to ``None`` (solver default) and rejects
+    a stray ``fault_plan``.
+    """
+
+    def __init__(self, engine: str, fault_plan: Any) -> None:
+        if engine != ENGINE_FAULTY and fault_plan is not None:
+            raise RegistryError(
+                f"fault_plan requires engine {ENGINE_FAULTY!r}, "
+                f"not {engine!r}"
+            )
+        self.engine = engine
+        self.simulator: Any = None
+        if engine == ENGINE_FAULTY:
+            from repro.model.faults import FaultPlan
+
+            self.plan = fault_plan if fault_plan is not None else FaultPlan()
+        else:
+            self.plan = None
+
+    @property
+    def factory(self) -> Any:
+        """What the core solvers' ``simulator`` parameter receives."""
+        return self if self.plan is not None else None
+
+    @contextmanager
+    def guarding(self) -> Any:
+        """Normalize a faulty run's crash into :class:`ProtocolError`.
+
+        A corrupted payload can detonate anywhere in a node program
+        (``TypeError``, ``ValueError``, ``KeyError``, ...). Under the
+        faulty engine all of those mean the same thing — the protocol
+        failed loudly under faults — so they surface uniformly as
+        ``ProtocolError`` with the original exception chained. Repro
+        errors (``ProtocolError``/``SimulationError``/...) pass through
+        untouched; plain engines are never wrapped.
+        """
+        if self.plan is None:
+            yield
+            return
+        from repro.errors import ProtocolError, ReproError
+
+        try:
+            yield
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ProtocolError(
+                f"fault run crashed: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def __call__(self, graph: StaticGraph, program: Any, inputs: Any = None):
+        from repro.model.faults import FaultySimulator
+
+        self.simulator = FaultySimulator(
+            graph, program, self.plan, inputs=inputs
+        )
+        return self.simulator
+
+    def extras(self) -> dict[str, Any]:
+        """Fault provenance for the outcome's ``extras``."""
+        if self.plan is None:
+            return {}
+        extras: dict[str, Any] = {"fault_plan": self.plan.describe()}
+        if self.simulator is not None:
+            extras["dropped"] = self.simulator.dropped
+            extras["corrupted"] = self.simulator.corrupted
+        return extras
 
 
 # ---------------------------------------------------------------------------
@@ -200,6 +294,7 @@ def _trace_baseline(
     "awake O(√log n · log* n)",
     aliases=("t1",),
     params={"b": "override the paper's b = 2^√(log n) (ablations)"},
+    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY),
     trace_program=_trace_theorem1,
 )
 def _run_theorem1(
@@ -207,11 +302,14 @@ def _run_theorem1(
     problem: OLocalProblem,
     engine: str,
     b: int | None = None,
+    fault_plan: Any = None,
 ) -> SolveOutcome:
     """Theorem 1 end to end on the Sleeping simulator."""
     from repro.core.theorem1 import solve
 
-    result = solve(graph, problem, b=b)
+    faults = _FaultInjector(engine, fault_plan)
+    with faults.guarding():
+        result = solve(graph, problem, b=b, simulator=faults.factory)
     return _simulation_outcome(
         "theorem1",
         result.outputs,
@@ -221,7 +319,9 @@ def _run_theorem1(
             "clustering": result.clustering,
             "clustering_colors": result.clustering.num_colors(),
             "palette_bound": result.palette_bound,
+            **faults.extras(),
         },
+        engine=engine,
     )
 
 
@@ -229,20 +329,27 @@ def _run_theorem1(
     "baseline",
     title="BM21 baseline — Linial + Lemma 11, awake O(log Δ + log* n)",
     aliases=("bm21",),
+    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY),
     trace_program=_trace_baseline,
 )
 def _run_baseline(
-    graph: StaticGraph, problem: OLocalProblem, engine: str
+    graph: StaticGraph,
+    problem: OLocalProblem,
+    engine: str,
+    fault_plan: Any = None,
 ) -> SolveOutcome:
     """The BM21 baseline end to end on the Sleeping simulator."""
     from repro.core.bm21 import solve_with_baseline
 
-    result = solve_with_baseline(graph, problem)
+    faults = _FaultInjector(engine, fault_plan)
+    with faults.guarding():
+        result = solve_with_baseline(graph, problem, simulator=faults.factory)
     return _simulation_outcome(
         "baseline",
         result.outputs,
         result.simulation,
-        extras={"palette": result.palette},
+        extras={"palette": result.palette, **faults.extras()},
+        engine=engine,
     )
 
 
@@ -252,12 +359,14 @@ def _run_baseline(
     "awake O(log c) (solving stage)",
     aliases=("t9", "clustered"),
     params={"b": "override the paper's b = 2^√(log n) (ablations)"},
+    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY),
 )
 def _run_theorem9(
     graph: StaticGraph,
     problem: OLocalProblem,
     engine: str,
     b: int | None = None,
+    fault_plan: Any = None,
 ) -> SolveOutcome:
     """Theorem 9 on a freshly computed Theorem 13 clustering.
 
@@ -269,8 +378,12 @@ def _run_theorem9(
     from repro.core.theorem9 import solve_with_clustering
     from repro.core.theorem13 import compute_clustering
 
+    faults = _FaultInjector(engine, fault_plan)
     clustering = compute_clustering(graph, b=b)
-    result = solve_with_clustering(graph, problem, clustering.clustering)
+    with faults.guarding():
+        result = solve_with_clustering(
+            graph, problem, clustering.clustering, simulator=faults.factory
+        )
     return _simulation_outcome(
         "theorem9",
         result.outputs,
@@ -283,7 +396,9 @@ def _run_theorem9(
             "palette_bound": clustering.palette_bound,
             "clustering_awake": clustering.awake_complexity,
             "clustering_rounds": clustering.round_complexity,
+            **faults.extras(),
         },
+        engine=engine,
     )
 
 

@@ -193,11 +193,16 @@ def solve_with_baseline(
     graph: StaticGraph,
     problem: OLocalProblem,
     inputs: Mapping[NodeId, Any] | None = None,
+    simulator: Any = None,
 ) -> BaselineResult:
-    """Run the BM21 baseline end to end on the Sleeping simulator."""
+    """Run the BM21 baseline end to end on the Sleeping simulator.
+
+    ``simulator`` optionally replaces :class:`SleepingSimulator` with a
+    ``(graph, program, inputs=...)`` factory (fault injection)."""
     delta = max(graph.max_degree, 1)
     node_inputs = dict(inputs) if inputs is not None else problem.make_inputs(graph)
-    sim = SleepingSimulator(
+    make_simulator = simulator if simulator is not None else SleepingSimulator
+    sim = make_simulator(
         graph, baseline_program(problem, delta), inputs=node_inputs
     )
     result = sim.run()

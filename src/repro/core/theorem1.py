@@ -91,6 +91,7 @@ def solve(
     inputs: Mapping[NodeId, Any] | None = None,
     b: int | None = None,
     validate: bool = True,
+    simulator: Any = None,
 ) -> Theorem1Result:
     """Solve an O-LOCAL problem on the Sleeping simulator (Theorem 1).
 
@@ -100,6 +101,9 @@ def solve(
         inputs: optional per-node inputs (defaults to the problem's own).
         b: override the paper's b = 2^{sqrt(log n)} (for ablations).
         validate: check the solution and the clustering before returning.
+        simulator: optional ``(graph, program, inputs=...)`` factory
+            replacing :class:`SleepingSimulator` (e.g. a fault-injecting
+            :class:`~repro.model.faults.FaultySimulator`).
 
     Returns:
         :class:`Theorem1Result` with outputs, the intermediate clustering,
@@ -109,7 +113,8 @@ def solve(
     node_inputs = (
         dict(inputs) if inputs is not None else problem.make_inputs(graph)
     )
-    sim = SleepingSimulator(
+    make_simulator = simulator if simulator is not None else SleepingSimulator
+    sim = make_simulator(
         graph, theorem1_program(problem, chosen_b), inputs=node_inputs
     )
     result = sim.run()

@@ -194,11 +194,14 @@ def solve_with_clustering(
     inputs: Mapping[NodeId, Any] | None = None,
     palette: int | None = None,
     validate: bool = True,
+    simulator: Any = None,
 ) -> Theorem9Result:
     """Run Theorem 9 end to end on the Sleeping simulator.
 
     The clustering is canonicalised to integer colors 1..c first; ``palette``
     may widen the assumed color range (it is common knowledge c).
+    ``simulator`` optionally replaces :class:`SleepingSimulator` with a
+    ``(graph, program, inputs=...)`` factory (fault injection).
     """
     canon = clustering.canonical()
     c = palette if palette is not None else canon.max_color()
@@ -220,7 +223,8 @@ def solve_with_clustering(
         )
         return out
 
-    result = SleepingSimulator(graph, program, inputs=node_inputs).run()
+    make_simulator = simulator if simulator is not None else SleepingSimulator
+    result = make_simulator(graph, program, inputs=node_inputs).run()
     if validate:
         problem.check(graph, result.outputs, node_inputs)
     return Theorem9Result(outputs=result.outputs, simulation=result, palette=c)

@@ -7,6 +7,14 @@ production-quality protocol should fail **loudly** (raise ProtocolError)
 rather than return silently wrong outputs; the fault-injection tests in
 ``tests/test_faults.py`` assert exactly that for every protocol in the
 repo.
+
+Fault scenarios are a first-class axis of the scenario API: a
+:class:`~repro.api.Scenario` with ``fault_drop``/``fault_corrupt`` set
+runs on the ``faulty-simulator`` engine
+(:data:`repro.core.algorithms.ENGINE_FAULTY`), which wraps the
+algorithm's node program in a :class:`FaultySimulator` — so fault runs
+flow through ``run_scenario``, grid sweeps, the trial cache, and the
+CLI like any other scenario.
 """
 
 from __future__ import annotations
@@ -38,6 +46,26 @@ class FaultPlan:
     seed: int = 0
     immune_rounds: frozenset[int] = frozenset()
 
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "corrupt_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this plan can fire at all."""
+        return self.drop_probability > 0 or self.corrupt_probability > 0
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able identity (artifact / extras provenance)."""
+        return {
+            "drop_probability": self.drop_probability,
+            "corrupt_probability": self.corrupt_probability,
+            "seed": self.seed,
+            "immune_rounds": sorted(self.immune_rounds),
+        }
+
 
 class FaultySimulator(SleepingSimulator):
     """A simulator whose message delivery is filtered by a FaultPlan."""
@@ -57,9 +85,6 @@ class FaultySimulator(SleepingSimulator):
         super().__init__(graph, faulty_program, inputs=inputs)
 
     def _wrap(self, program: NodeProgram) -> NodeProgram:
-        plan = self._plan
-        rng = self._rng
-
         def wrapped(info):
             gen = program(info)
             try:
@@ -77,18 +102,39 @@ class FaultySimulator(SleepingSimulator):
         plan, rng = self._plan, self._rng
         if action.messages is None or action.round in plan.immune_rounds:
             return action
+        if not plan.is_active:
+            return action
         messages = action.messages
-        if isinstance(messages, Broadcast):
-            messages = {u: messages.payload for u in info.neighbors}
+        broadcast = isinstance(messages, Broadcast)
+        if broadcast:
+            items = ((u, messages.payload) for u in info.neighbors)
+        else:
+            items = messages.items()
         filtered: dict[NodeId, Payload] = {}
-        for target, payload in messages.items():
-            roll = rng.random()
-            if roll < plan.drop_probability:
+        clean = True
+        for target, payload in items:
+            # Independent draws per fault event: dropping and corrupting
+            # are separate coins, not two slices of one uniform draw
+            # (which made corruption conditional on not dropping). Both
+            # coins are always drawn so the stream stays aligned per
+            # message regardless of outcomes.
+            drop = rng.random() < plan.drop_probability
+            corrupt = rng.random() < plan.corrupt_probability
+            if drop:
                 self.dropped += 1
+                clean = False
                 continue
-            if roll < plan.drop_probability + plan.corrupt_probability:
+            if corrupt:
                 self.corrupted += 1
+                clean = False
                 filtered[target] = ("corrupted", rng.getrandbits(32))
                 continue
             filtered[target] = payload
+        if clean:
+            # Every copy survived intact: keep the original action — in
+            # particular a ``Broadcast`` stays a ``Broadcast``, so the
+            # simulator's batched zero-copy delivery path (and its
+            # per-edge accounting) is not silently defeated on rounds
+            # where no fault fires.
+            return action
         return AwakeAt(action.round, filtered)

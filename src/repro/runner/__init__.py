@@ -16,9 +16,16 @@ Layers (each in its own module, importable independently):
   ``workers=1`` (the bit-identical reference path) or sharded across a
   ``multiprocessing`` pool, with ordered result aggregation,
   worker-crash surfacing, and optional cache lookup/store;
+- :mod:`repro.runner.resilience` — ``RetryPolicy`` (bounded attempts,
+  deterministic jittered backoff), the per-trial wall-clock deadline,
+  the append-only ``SweepJournal`` checkpoint (``--resume``), and the
+  ``FailureReport`` that ``--keep-going`` collects;
+- :mod:`repro.runner.chaos` — env-armed deterministic fault injection
+  (raise / hang / hard-exit) into the executor's per-trial entry
+  point, so the resilience layer is itself tested by fault injection;
 - :mod:`repro.runner.artifacts` — ``SWEEP_*.json`` artifact output with
-  a deterministic ``tables`` section (identical for any worker count
-  and any cache state).
+  a deterministic ``tables`` section (identical for any worker count,
+  cache state, retry schedule, or resume point).
 
 The CLI entry points are ``python -m repro sweep`` and ``python -m
 repro report`` (see :mod:`repro.cli`).
@@ -32,7 +39,16 @@ from repro.runner.cache import (
     code_version_salt,
     trial_cache_key,
 )
+from repro.runner.chaos import ChaosError, ChaosSpec, chaos_from_env
 from repro.runner.executor import SweepError, SweepResult, TrialOutcome, run_sweep
+from repro.runner.resilience import (
+    FailureReport,
+    RetryPolicy,
+    SweepJournal,
+    TrialFailure,
+    TrialTimeoutError,
+    trial_digest,
+)
 from repro.runner.specs import SweepSpec, TrialSpec, derive_seed
 from repro.runner.trials import (
     aggregate_sweep,
@@ -45,13 +61,21 @@ from repro.runner.trials import (
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "CacheStats",
+    "ChaosError",
+    "ChaosSpec",
+    "FailureReport",
+    "RetryPolicy",
     "SweepError",
+    "SweepJournal",
     "SweepResult",
     "SweepSpec",
     "TrialCache",
+    "TrialFailure",
     "TrialOutcome",
     "TrialSpec",
+    "TrialTimeoutError",
     "aggregate_sweep",
+    "chaos_from_env",
     "code_version_salt",
     "derive_seed",
     "execute_trial",
@@ -61,5 +85,6 @@ __all__ = [
     "sweep_from_experiments",
     "sweep_from_grid",
     "trial_cache_key",
+    "trial_digest",
     "write_sweep_artifact",
 ]

@@ -7,9 +7,16 @@ The artifact has two layers:
   byte-identical for any worker count; the determinism tests compare
   exactly this layer across worker counts;
 - a **provenance** layer — per-trial wall times, worker pids, cache
-  hit/miss accounting, the worker count and total wall clock, which is
-  expected to vary run to run and is kept in separate keys
-  (``timing``).
+  hit/miss accounting, pool restarts, the worker count and total wall
+  clock, which is expected to vary run to run and is kept in separate
+  keys (``timing``, ``failures``).
+
+A sweep run with ``keep_going`` may complete with failures; its
+artifact then aggregates the completed trials (partial, explicitly
+marked) and embeds the full
+:class:`~repro.runner.resilience.FailureReport` — failed trials listed
+with their remote tracebacks — under ``failures``. The deterministic
+view never includes it.
 """
 
 from __future__ import annotations
@@ -22,8 +29,13 @@ from repro.runner.executor import SweepResult
 
 
 def sweep_artifact_payload(result: SweepResult) -> dict[str, Any]:
-    """The JSON-able artifact content for a completed sweep."""
-    experiments = result.experiments()
+    """The JSON-able artifact content for a completed sweep.
+
+    A keep-going sweep that collected failures aggregates only its
+    completed trials — the artifact says so (``partial: true``) and
+    carries the failure report alongside.
+    """
+    experiments = result.experiments(allow_partial=bool(result.failures))
     stats = result.cache_stats
     tables = {
         exp_id: {
@@ -38,13 +50,19 @@ def sweep_artifact_payload(result: SweepResult) -> dict[str, Any]:
     return {
         "sweep": result.spec.describe(),
         "tables": tables,
+        "partial": bool(result.failures),
+        "failures": result.failure_report.describe(),
         "timing": {
             "workers": result.workers,
             "wall_seconds": result.wall_seconds,
-            # Compute done by *this* run; cache hits carry historical
-            # times, accounted separately under ``cache.seconds_saved``.
+            "pool_restarts": result.pool_restarts,
+            # Compute done by *this* run; cache hits and journal
+            # resumes carry historical times, accounted separately
+            # under ``cache.seconds_saved`` / the journal itself.
             "trial_seconds_total": sum(
-                o.seconds for o in result.outcomes if not o.cached
+                o.seconds
+                for o in result.outcomes
+                if not o.cached and not o.resumed
             ),
             "cache": None if stats is None else stats.describe(),
             "trials": [
@@ -53,6 +71,7 @@ def sweep_artifact_payload(result: SweepResult) -> dict[str, Any]:
                     "seconds": outcome.seconds,
                     "worker": outcome.worker,
                     "cached": outcome.cached,
+                    "resumed": outcome.resumed,
                 }
                 for outcome in result.outcomes
             ],

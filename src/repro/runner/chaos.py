@@ -1,0 +1,150 @@
+"""Deterministic fault injection into the sweep executor itself.
+
+The resilience layer (:mod:`repro.runner.resilience`) exists to survive
+raising trials, hung stragglers, and workers that die hard — so it must
+be *tested* by exactly those faults, on demand and reproducibly. This
+module injects them at the top of the executor's per-trial entry point
+(``_run_one``), in whichever process executes the trial.
+
+A :class:`ChaosSpec` is env-driven (:data:`CHAOS_ENV` holds a JSON
+object), so the CLI, tests, and CI can arm chaos without any code path
+knowing about it::
+
+    REPRO_CHAOS='{"match": "E4[", "mode": "exit", "times": 1,
+                  "fuse": "/tmp/chaos-fuse"}' \\
+        python -m repro sweep --quick --workers 2
+
+Modes:
+
+- ``raise`` — raise :class:`ChaosError` (exercises retry/keep-going);
+- ``hang`` — sleep ``hang_seconds`` (exercises the per-trial timeout);
+- ``exit`` — ``os._exit(exit_code)``: the worker dies without raising
+  (exercises pool restart and unfinished-trial requeue).
+
+Determinism: the spec fires on trials whose **label** contains
+``match`` (labels are stable, spec-ordered identities), at most
+``times`` times. Bounded firing across *processes* (pool workers,
+restarted pools, resumed runs) is coordinated through ``fuse`` marker
+files claimed with ``O_CREAT | O_EXCL`` — the k-th firing claims
+``<fuse>.k`` atomically, so "crash exactly once, then succeed" works
+even when the retry lands in a different worker process. Without a
+``fuse``, firings are counted per process (fine for serial sweeps).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.runner.specs import TrialSpec
+
+#: Environment variable the executor reads chaos specs from.
+CHAOS_ENV = "REPRO_CHAOS"
+
+MODES = ("raise", "hang", "exit")
+
+
+class ChaosError(RuntimeError):
+    """The injected failure of ``mode="raise"``."""
+
+
+@dataclass
+class ChaosSpec:
+    """One armed fault: where it fires, what it does, how often.
+
+    ``times <= 0`` means "every matching trial" (useful for asserting
+    that budgets are enforced, e.g. a trial that crashes the pool on
+    every attempt must exhaust ``max_pool_restarts``).
+    """
+
+    mode: str
+    match: str = ""
+    times: int = 1
+    fuse: str | None = None
+    hang_seconds: float = 3600.0
+    exit_code: int = 32
+    _fired: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown chaos mode {self.mode!r}; one of {MODES}")
+
+    def _claim_firing(self) -> bool:
+        """Atomically claim one of the ``times`` allowed firings."""
+        if self.times <= 0:
+            return True
+        if self.fuse is None:
+            if self._fired >= self.times:
+                return False
+            self._fired += 1
+            return True
+        for k in range(self.times):
+            try:
+                fd = os.open(
+                    f"{self.fuse}.{k}", os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def maybe_fire(self, spec: TrialSpec) -> None:
+        """Inject the fault if this trial matches and firings remain."""
+        if self.match not in spec.label:
+            return
+        if not self._claim_firing():
+            return
+        if self.mode == "raise":
+            raise ChaosError(
+                f"chaos: injected failure in trial {spec.label!r}"
+            )
+        if self.mode == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        # mode == "exit": die without raising, like a segfault or OOM
+        # kill — the parent only sees BrokenProcessPool.
+        os._exit(self.exit_code)
+
+
+#: Memoized (raw env value, parsed spec) so fuse-less ``times`` counts
+#: persist across calls within one process.
+_armed: tuple[str, ChaosSpec] | None = None
+
+
+def chaos_from_env(environ: dict[str, str] | None = None) -> ChaosSpec | None:
+    """The armed :class:`ChaosSpec`, or None. Malformed specs raise —
+    armed-but-broken chaos must never silently test nothing."""
+    global _armed
+    raw = (environ if environ is not None else os.environ).get(CHAOS_ENV)
+    if not raw:
+        return None
+    if _armed is not None and _armed[0] == raw:
+        return _armed[1]
+    payload = json.loads(raw)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{CHAOS_ENV} must hold a JSON object, got: {raw!r}")
+    spec = ChaosSpec(**payload)
+    _armed = (raw, spec)
+    return spec
+
+
+def maybe_inject(spec: TrialSpec) -> None:
+    """Executor hook: fire the env-armed chaos spec, if any, for this
+    trial. Reads the environment on every call — workers inherit the
+    parent's environment under both fork and spawn, and tests arm/
+    disarm chaos per test via monkeypatch."""
+    chaos = chaos_from_env()
+    if chaos is not None:
+        chaos.maybe_fire(spec)
+
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosError",
+    "ChaosSpec",
+    "chaos_from_env",
+    "maybe_inject",
+]

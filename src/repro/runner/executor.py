@@ -8,11 +8,36 @@ platform offers it, spawn otherwise) and collected as they finish, then
 **re-ordered by spec index** before aggregation, so the aggregate is
 independent of scheduling.
 
-Failure surfacing: an exception inside a trial is wrapped into
-:class:`SweepError` naming the trial (the remote traceback stays chained
-as ``__cause__``); a worker process that dies without raising (signal,
-``os._exit``) surfaces as a :class:`SweepError` listing the trials that
-had no result when the pool broke.
+Resilience (:mod:`repro.runner.resilience` has the pieces):
+
+- a :class:`~repro.runner.resilience.RetryPolicy` re-executes failed
+  trials (bounded attempts, deterministic jittered backoff seeded from
+  the trial's content-addressed identity);
+- a per-trial ``timeout`` arms a ``SIGALRM`` deadline inside the
+  executing process, so a hung straggler surfaces as a retriable
+  :class:`~repro.runner.resilience.TrialTimeoutError` and is requeued
+  instead of stalling the sweep;
+- a worker that dies without raising (signal, ``os._exit``) breaks the
+  pool; the executor **rebuilds the pool and requeues only the
+  unfinished trials**, bounded by ``max_pool_restarts`` — only an
+  exhausted budget aborts the sweep;
+- ``keep_going=True`` converts terminal per-trial failures into
+  :class:`~repro.runner.resilience.TrialFailure` records on the
+  result's :class:`~repro.runner.resilience.FailureReport` instead of
+  raising; aggregation then refuses partial input unless explicitly
+  allowed (``experiments(allow_partial=True)``);
+- a :class:`~repro.runner.resilience.SweepJournal` checkpoints every
+  completed trial, and prefills journaled trials on resume.
+
+Chaos (:mod:`repro.runner.chaos`) injects raise/hang/exit faults at
+the top of :func:`_run_one` when armed via the environment — the
+resilience layer is itself gated by fault-injection tests.
+
+Failure surfacing without ``keep_going``: an exception inside a trial
+is wrapped into :class:`SweepError` naming the trial (the remote
+traceback stays chained as ``__cause__``); an exhausted pool-restart
+budget surfaces as a :class:`SweepError` listing the trials that had no
+result when the pool last broke.
 
 With a :class:`~repro.runner.cache.TrialCache`, every trial is looked
 up before execution — hits become :class:`TrialOutcome`\\ s directly
@@ -20,7 +45,8 @@ up before execution — hits become :class:`TrialOutcome`\\ s directly
 are executed (and then stored, parent-side, so there is exactly one
 writer per sweep). The cache never changes *what* a sweep computes,
 only whether it recomputes it: the aggregate stays byte-identical
-across cold, warm, serial, and sharded runs.
+across cold, warm, serial, sharded, retried, restarted, and resumed
+runs.
 """
 
 from __future__ import annotations
@@ -29,15 +55,27 @@ import multiprocessing
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.analysis.experiments import ExperimentResult
 from repro.runner.cache import CacheStats, TrialCache
+from repro.runner.chaos import maybe_inject
+from repro.runner.resilience import (
+    FailureReport,
+    RetryPolicy,
+    SweepJournal,
+    TrialFailure,
+    trial_deadline,
+)
 from repro.runner.specs import SweepSpec, TrialSpec
 from repro.runner.trials import aggregate_sweep, execute_trial
+
+#: Default pool-rebuild budget after hard worker deaths.
+DEFAULT_MAX_POOL_RESTARTS = 2
 
 
 class SweepError(RuntimeError):
@@ -49,8 +87,9 @@ class TrialOutcome:
     """One executed trial: its spec, payload, and (non-deterministic)
     execution metadata kept out of the aggregate.
 
-    ``cached`` marks a cache hit; ``seconds`` is then the *original*
-    compute time (what the hit saved), and ``worker`` is 0.
+    ``cached`` marks a cache hit and ``resumed`` a journal prefill; in
+    both cases ``seconds`` is the *original* compute time (what the
+    hit saved) and ``worker`` is 0.
     """
 
     spec: TrialSpec
@@ -58,33 +97,69 @@ class TrialOutcome:
     seconds: float
     worker: int
     cached: bool = False
+    resumed: bool = False
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """All trial outcomes of a sweep, in spec order."""
+    """A sweep's completed trial outcomes, in spec order.
+
+    Without ``keep_going`` every trial is present; with it, trials
+    that failed for good are absent from ``outcomes`` and recorded in
+    ``failures`` instead.
+    """
 
     spec: SweepSpec
     outcomes: tuple[TrialOutcome, ...]
     workers: int
     wall_seconds: float
     cache_stats: CacheStats | None = None
+    failures: tuple[TrialFailure, ...] = ()
+    pool_restarts: int = 0
 
     def payloads(self) -> list[Any]:
         return [outcome.payload for outcome in self.outcomes]
 
-    def experiments(self) -> dict[str, ExperimentResult]:
-        """Aggregate, in spec order — byte-identical for any worker count."""
-        return aggregate_sweep(self.spec.trials, self.payloads())
+    @property
+    def failure_report(self) -> FailureReport:
+        return FailureReport(self.failures)
 
-    def render(self) -> str:
-        return "\n\n".join(r.render() for r in self.experiments().values())
+    def experiments(self, allow_partial: bool = False) -> dict[str, ExperimentResult]:
+        """Aggregate, in spec order — byte-identical for any worker
+        count, cache state, retry schedule, or resume point.
+
+        Raises:
+            SweepError: the sweep has failures and ``allow_partial`` is
+                False — a partial aggregate must be asked for
+                explicitly, never produced silently.
+        """
+        if self.failures and not allow_partial:
+            raise SweepError(
+                f"{len(self.failures)} trial(s) failed "
+                f"({self.failure_report.summary()}); refusing to aggregate "
+                f"partial input — pass allow_partial=True (CLI: "
+                f"--allow-partial) to aggregate the "
+                f"{len(self.outcomes)} completed trial(s)"
+            )
+        trials = tuple(outcome.spec for outcome in self.outcomes)
+        return aggregate_sweep(trials, self.payloads())
+
+    def render(self, allow_partial: bool = False) -> str:
+        return "\n\n".join(
+            r.render() for r in self.experiments(allow_partial).values()
+        )
 
 
-def _run_one(spec: TrialSpec) -> TrialOutcome:
-    """Execute one trial, timing it; runs in the worker (or serially)."""
+def _run_one(spec: TrialSpec, timeout: float | None = None) -> TrialOutcome:
+    """Execute one trial, timing it; runs in the worker (or serially).
+
+    Armed chaos fires here — inside the deadline, so an injected hang
+    exercises the timeout exactly like a real straggler would.
+    """
     start = time.perf_counter()
-    payload = execute_trial(spec)
+    with trial_deadline(spec, timeout):
+        maybe_inject(spec)
+        payload = execute_trial(spec)
     return TrialOutcome(
         spec=spec,
         payload=payload,
@@ -107,123 +182,275 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context(pool_start_method())
 
 
+def _trial_failure(
+    trial: TrialSpec, exc: BaseException, attempts: int
+) -> TrialFailure:
+    """A failure record carrying the (possibly remote) traceback."""
+    return TrialFailure(
+        index=trial.index,
+        label=trial.label,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        attempts=attempts,
+    )
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     progress: Callable[[TrialOutcome], None] | None = None,
     cache: TrialCache | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    max_pool_restarts: int = DEFAULT_MAX_POOL_RESTARTS,
+    keep_going: bool = False,
+    journal: SweepJournal | None = None,
 ) -> SweepResult:
     """Execute a sweep; ``workers=1`` is serial and in-process.
 
     With a ``cache``, trials whose results are already stored are not
-    re-executed; the aggregate is identical either way.
+    re-executed; with a resuming ``journal``, journaled trials are
+    prefilled the same way. The aggregate is identical in every case.
 
     Raises:
-        SweepError: a trial raised (cause chained) or a worker died.
+        SweepError: a trial failed for good (and ``keep_going`` is
+            off), or hard worker deaths exhausted ``max_pool_restarts``.
     """
     start = time.perf_counter()
-    hits: dict[int, TrialOutcome] = {}
+    policy = retry if retry is not None else RetryPolicy()
+    prefilled: dict[int, TrialOutcome] = {}
+    if journal is not None:
+        prefilled.update(journal.load_outcomes(spec.trials))
+        journal.begin(spec.name, len(spec.trials))
+    cache_hits = 0
     if cache is not None:
         for trial in spec.trials:
+            if trial.index in prefilled:
+                continue
             found = cache.load(trial)
             if found is not None:
-                hits[trial.index] = TrialOutcome(
+                cache_hits += 1
+                prefilled[trial.index] = TrialOutcome(
                     spec=trial,
                     payload=found.payload,
                     seconds=found.seconds,
                     worker=0,
                     cached=True,
                 )
+    failures: list[TrialFailure] = []
+    pool_restarts = 0
     if workers <= 1:
-        outcomes = []
-        for trial in spec.trials:
-            outcome = hits.get(trial.index)
-            if outcome is None:
-                outcome = _run_trial_checked(trial, _run_one)
-                if cache is not None:
-                    cache.store(trial, outcome.payload, outcome.seconds)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(outcome)
+        outcomes = _run_serial(
+            spec, progress, prefilled, cache, policy, timeout, keep_going,
+            journal, failures,
+        )
     else:
-        outcomes = _run_pool(spec, workers, progress, hits, cache)
+        outcomes, pool_restarts = _run_pool(
+            spec, workers, progress, prefilled, cache, policy, timeout,
+            max_pool_restarts, keep_going, journal, failures,
+        )
     stats = None
     if cache is not None:
+        saved = sum(o.seconds for o in prefilled.values() if o.cached)
         stats = CacheStats(
-            hits=len(hits),
-            misses=len(spec.trials) - len(hits),
-            seconds_saved=sum(o.seconds for o in hits.values()),
+            hits=cache_hits,
+            misses=len(spec.trials) - len(prefilled),
+            seconds_saved=saved,
         )
+    failures.sort(key=lambda failure: failure.index)
     return SweepResult(
         spec=spec,
         outcomes=tuple(outcomes),
         workers=max(1, workers),
         wall_seconds=time.perf_counter() - start,
         cache_stats=stats,
+        failures=tuple(failures),
+        pool_restarts=pool_restarts,
     )
 
 
-def _run_trial_checked(
-    trial: TrialSpec, runner: Callable[[TrialSpec], TrialOutcome]
-) -> TrialOutcome:
-    try:
-        return runner(trial)
-    except SweepError:
-        raise
-    except Exception as exc:
-        raise SweepError(
-            f"trial {trial.label!r} (index {trial.index}) failed: "
-            f"{type(exc).__name__}: {exc}"
-        ) from exc
+def _record(
+    outcome: TrialOutcome,
+    cache: TrialCache | None,
+    journal: SweepJournal | None,
+    progress: Callable[[TrialOutcome], None] | None,
+) -> None:
+    """Persist and report one freshly computed outcome (parent-side)."""
+    if cache is not None:
+        cache.store(outcome.spec, outcome.payload, outcome.seconds)
+    if journal is not None:
+        journal.append(outcome)
+    if progress is not None:
+        progress(outcome)
+
+
+def _run_serial(
+    spec: SweepSpec,
+    progress: Callable[[TrialOutcome], None] | None,
+    prefilled: dict[int, TrialOutcome],
+    cache: TrialCache | None,
+    policy: RetryPolicy,
+    timeout: float | None,
+    keep_going: bool,
+    journal: SweepJournal | None,
+    failures: list[TrialFailure],
+) -> list[TrialOutcome]:
+    outcomes: list[TrialOutcome] = []
+    for trial in spec.trials:
+        outcome = prefilled.get(trial.index)
+        if outcome is not None:
+            if journal is not None and not outcome.resumed:
+                journal.append(outcome)
+            if progress is not None:
+                progress(outcome)
+            outcomes.append(outcome)
+            continue
+        attempt = 1
+        while True:
+            try:
+                outcome = _run_one(trial, timeout)
+            except Exception as exc:
+                if policy.should_retry(exc, attempt):
+                    time.sleep(policy.backoff_seconds(trial, attempt))
+                    attempt += 1
+                    continue
+                if keep_going:
+                    failures.append(_trial_failure(trial, exc, attempt))
+                    outcome = None
+                    break
+                raise SweepError(
+                    f"trial {trial.label!r} (index {trial.index}) failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            break
+        if outcome is None:
+            continue
+        _record(outcome, cache, journal, progress)
+        outcomes.append(outcome)
+    return outcomes
 
 
 def _run_pool(
     spec: SweepSpec,
     workers: int,
     progress: Callable[[TrialOutcome], None] | None,
-    hits: dict[int, TrialOutcome],
+    prefilled: dict[int, TrialOutcome],
     cache: TrialCache | None,
-) -> list[TrialOutcome]:
-    collected: dict[int, TrialOutcome] = dict(hits)
-    if progress is not None:
-        for trial in spec.trials:
-            if trial.index in hits:
-                progress(hits[trial.index])
-    pending_trials = [t for t in spec.trials if t.index not in hits]
-    if not pending_trials:
-        return [collected[trial.index] for trial in spec.trials]
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        future_to_trial = {pool.submit(_run_one, t): t for t in pending_trials}
-        pending = set(future_to_trial)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                trial = future_to_trial[future]
-                try:
-                    outcome = future.result()
-                except BrokenProcessPool as exc:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    missing = sorted(
-                        t.label
-                        for t in spec.trials
-                        if t.index not in collected
-                    )
-                    raise SweepError(
-                        f"a worker process died without raising (crash or "
-                        f"hard exit) while the sweep still owed "
-                        f"{len(missing)} trial(s): {missing[:8]}"
-                    ) from exc
-                except Exception as exc:
-                    # Don't sit through the rest of the sweep to report an
-                    # error already in hand: drop the queued trials.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise SweepError(
-                        f"trial {trial.label!r} (index {trial.index}) "
-                        f"failed in a worker: {type(exc).__name__}: {exc}"
-                    ) from exc
-                collected[trial.index] = outcome
-                if cache is not None:
-                    cache.store(trial, outcome.payload, outcome.seconds)
-                if progress is not None:
-                    progress(outcome)
-    return [collected[trial.index] for trial in spec.trials]
+    policy: RetryPolicy,
+    timeout: float | None,
+    max_pool_restarts: int,
+    keep_going: bool,
+    journal: SweepJournal | None,
+    failures: list[TrialFailure],
+) -> tuple[list[TrialOutcome], int]:
+    collected: dict[int, TrialOutcome] = dict(prefilled)
+    for trial in spec.trials:
+        outcome = prefilled.get(trial.index)
+        if outcome is None:
+            continue
+        if journal is not None and not outcome.resumed:
+            journal.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    attempts: dict[int, int] = {}
+    failed: set[int] = set()
+    restarts = 0
+    while True:
+        todo = [
+            t for t in spec.trials
+            if t.index not in collected and t.index not in failed
+        ]
+        if not todo:
+            break
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                _drain_pool(
+                    pool, todo, collected, failed, attempts, cache, journal,
+                    progress, policy, timeout, keep_going, failures,
+                )
+            break
+        except BrokenProcessPool as exc:
+            # A worker died without raising (signal, os._exit, OOM
+            # kill). Everything already collected is safe; rebuild the
+            # pool and requeue only the unfinished trials.
+            restarts += 1
+            if restarts > max_pool_restarts:
+                missing = sorted(
+                    t.label
+                    for t in spec.trials
+                    if t.index not in collected and t.index not in failed
+                )
+                raise SweepError(
+                    f"a worker process died without raising (crash or "
+                    f"hard exit) and the pool-restart budget "
+                    f"(max_pool_restarts={max_pool_restarts}) is "
+                    f"exhausted; the sweep still owed {len(missing)} "
+                    f"trial(s): {missing[:8]}"
+                ) from exc
+    ordered = [
+        collected[trial.index]
+        for trial in spec.trials
+        if trial.index in collected
+    ]
+    return ordered, restarts
+
+
+def _drain_pool(
+    pool: ProcessPoolExecutor,
+    todo: list[TrialSpec],
+    collected: dict[int, TrialOutcome],
+    failed: set[int],
+    attempts: dict[int, int],
+    cache: TrialCache | None,
+    journal: SweepJournal | None,
+    progress: Callable[[TrialOutcome], None] | None,
+    policy: RetryPolicy,
+    timeout: float | None,
+    keep_going: bool,
+    failures: list[TrialFailure],
+) -> None:
+    """Submit ``todo`` and collect until done; failed trials retry into
+    the same pool. Raises BrokenProcessPool through to the caller's
+    restart loop, and SweepError on a terminal failure without
+    ``keep_going``."""
+    future_to_trial: dict[Future, TrialSpec] = {
+        pool.submit(_run_one, t, timeout): t for t in todo
+    }
+    pending = set(future_to_trial)
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            trial = future_to_trial.pop(future)
+            try:
+                outcome = future.result()
+            except BrokenProcessPool:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            except Exception as exc:
+                attempt = attempts[trial.index] = (
+                    attempts.get(trial.index, 0) + 1
+                )
+                if policy.should_retry(exc, attempt):
+                    time.sleep(policy.backoff_seconds(trial, attempt))
+                    retry_future = pool.submit(_run_one, trial, timeout)
+                    future_to_trial[retry_future] = trial
+                    pending.add(retry_future)
+                    continue
+                if keep_going:
+                    failures.append(_trial_failure(trial, exc, attempt))
+                    failed.add(trial.index)
+                    continue
+                # Don't sit through the rest of the sweep to report an
+                # error already in hand: drop the queued trials.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise SweepError(
+                    f"trial {trial.label!r} (index {trial.index}) "
+                    f"failed in a worker: {type(exc).__name__}: {exc}"
+                ) from exc
+            collected[trial.index] = outcome
+            _record(outcome, cache, journal, progress)

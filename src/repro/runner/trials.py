@@ -114,6 +114,10 @@ def sweep_from_grid(
     trials_per_config: int = 1,
     master_seed: int = 0,
     name: str = "grid",
+    fault_drop: float = 0.0,
+    fault_corrupt: float = 0.0,
+    fault_seed: int = 0,
+    immune_rounds: Iterable[int] = (),
 ) -> SweepSpec:
     """Enumerate a seeded (family, n, problem, algorithm) solve grid.
 
@@ -121,6 +125,14 @@ def sweep_from_grid(
     registries up front (like experiment ids in
     :func:`sweep_from_experiments`), so a typo fails at
     spec-construction time rather than inside a worker.
+
+    Nonzero ``fault_drop``/``fault_corrupt`` put every trial on the
+    ``faulty-simulator`` engine; each trial's fault RNG seed is derived
+    content-addressed from its trial seed (and ``fault_seed``), so the
+    fault stream is as reproducible as the graph itself. Fault kwargs
+    are appended to the trial kwargs **only when the fault axis is
+    active**, so fault-free sweeps keep their pre-existing trial cache
+    keys byte for byte.
     """
     from repro.core.algorithms import ALGORITHMS
     from repro.graphs.families import GRAPH_FAMILIES
@@ -152,6 +164,8 @@ def sweep_from_grid(
     # before the registry existed, and canonicalizing them now would
     # shift every pre-existing trial's derived seed and cache key.
     algorithms = [ALGORITHMS.resolve(a) for a in algorithms]
+    faults_active = fault_drop > 0 or fault_corrupt > 0
+    immune = tuple(sorted(set(immune_rounds)))
     trials = []
     for family in families:
         for n in sizes:
@@ -161,22 +175,36 @@ def sweep_from_grid(
                         seed = derive_seed(
                             master_seed, family, n, problem, algorithm, t
                         )
+                        kwargs = [
+                            ("family", family),
+                            ("n", n),
+                            ("problem", problem),
+                            ("algorithm", algorithm),
+                            ("seed", seed),
+                        ]
+                        label = (
+                            f"{family}/n={n}/{problem}/{algorithm}#{t}"
+                        )
+                        if faults_active:
+                            kwargs += [
+                                ("fault_drop", fault_drop),
+                                ("fault_corrupt", fault_corrupt),
+                                (
+                                    "fault_seed",
+                                    derive_seed(seed, "fault", fault_seed),
+                                ),
+                                ("immune_rounds", immune),
+                            ]
+                            label += (
+                                f"!d={fault_drop:g},c={fault_corrupt:g}"
+                            )
                         trials.append(
                             TrialSpec(
                                 index=len(trials),
                                 kind=KIND_SOLVE,
                                 key=problem,
-                                label=(
-                                    f"{family}/n={n}/{problem}/"
-                                    f"{algorithm}#{t}"
-                                ),
-                                kwargs=(
-                                    ("family", family),
-                                    ("n", n),
-                                    ("problem", problem),
-                                    ("algorithm", algorithm),
-                                    ("seed", seed),
-                                ),
+                                label=label,
+                                kwargs=tuple(kwargs),
                                 seed=seed,
                             )
                         )
@@ -194,22 +222,45 @@ def solve_trial(
     seed: int,
     p: float = 0.15,
     degree: int = 4,
+    fault_drop: float = 0.0,
+    fault_corrupt: float = 0.0,
+    fault_seed: int = 0,
+    immune_rounds: Sequence[int] = (),
 ) -> dict[str, Any]:
     """One seeded solve run, dispatched through the scenario registries;
     returns a single table row.
 
     Runs worker-side: plugins are (re)loaded here so spawned workers —
     which do not inherit the parent's registrations — resolve the same
-    names the parent validated at spec time.
+    names the parent validated at spec time. Nonzero fault
+    probabilities run on the ``faulty-simulator`` engine; protocols are
+    expected to raise (``ProtocolError``/``ValidationError``) when a
+    fault actually breaks them, which surfaces as a trial failure.
     """
-    from repro.core.algorithms import ALGORITHMS
+    from repro.core.algorithms import ALGORITHMS, ENGINE_FAULTY
     from repro.graphs.families import build_family_graph
     from repro.olocal import PROBLEMS
     from repro.registry import load_plugins
 
     load_plugins()
     graph = build_family_graph(family, n, seed=seed, p=p, degree=degree)
-    outcome = ALGORITHMS.get(algorithm).solve(graph, PROBLEMS.get(problem))
+    if fault_drop > 0 or fault_corrupt > 0:
+        from repro.model.faults import FaultPlan
+
+        plan = FaultPlan(
+            drop_probability=fault_drop,
+            corrupt_probability=fault_corrupt,
+            seed=fault_seed if fault_seed else seed,
+            immune_rounds=frozenset(immune_rounds),
+        )
+        outcome = ALGORITHMS.get(algorithm).solve(
+            graph,
+            PROBLEMS.get(problem),
+            engine=ENGINE_FAULTY,
+            fault_plan=plan,
+        )
+    else:
+        outcome = ALGORITHMS.get(algorithm).solve(graph, PROBLEMS.get(problem))
     row = (
         family,
         graph.n,

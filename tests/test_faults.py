@@ -58,6 +58,86 @@ class TestFaultPlanMechanics:
         assert out1 == out2
         assert sim1.dropped == sim2.dropped > 0
 
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            FaultPlan(drop_probability=1.5)
+        with pytest.raises(ValueError, match="corrupt_probability"):
+            FaultPlan(corrupt_probability=-0.1)
+
+    def test_clean_broadcast_action_preserved(self):
+        """When no fault fires on a round, the original action object —
+        in particular a ``Broadcast`` — must pass through unchanged, so
+        the simulator's batched zero-copy delivery path stays engaged
+        (it must not be silently materialized into a per-neighbor
+        dict)."""
+        from repro.model import AwakeAt, Broadcast
+        from repro.types import NodeId
+
+        g = path(5)
+        seen: list[object] = []
+
+        class Spy(FaultySimulator):
+            def _filter(self, action, info):
+                filtered = super()._filter(action, info)
+                seen.append(filtered.messages)
+                return filtered
+
+        def program(info):
+            inbox = yield AwakeAt(1, Broadcast("x"))
+            return len(inbox)
+
+        # immune round 1: the plan is active but must not touch round 1.
+        plan = FaultPlan(
+            drop_probability=1.0, seed=1, immune_rounds=frozenset([1])
+        )
+        Spy(g, program, plan).run()
+        assert seen and all(isinstance(m, Broadcast) for m in seen)
+
+        # Inactive plan: same invariant via the is_active early return.
+        seen.clear()
+        Spy(g, program, FaultPlan()).run()
+        assert seen and all(isinstance(m, Broadcast) for m in seen)
+
+    def test_drop_and_corruption_draws_are_independent(self):
+        """Dropping and corrupting are separate coins: with
+        drop=corrupt=0.5 some messages must still arrive intact —
+        under the old single-draw scheme drop=0.5 + corrupt=0.5
+        consumed the whole unit interval and no message survived."""
+        from repro.model import AwakeAt, Broadcast
+
+        g = path(40)
+
+        def program(info):
+            inbox = yield AwakeAt(1, Broadcast("x"))
+            return list(inbox.values())
+
+        plan = FaultPlan(drop_probability=0.5, corrupt_probability=0.5, seed=3)
+        sim = FaultySimulator(g, program, plan)
+        res = sim.run()
+        assert sim.dropped > 0 and sim.corrupted > 0
+        intact = sum(
+            1 for values in res.outputs.values() for v in values if v == "x"
+        )
+        # 78 directed messages, P(intact) = 0.25: all-faulty is ~1e-10.
+        assert intact > 0
+
+    def test_corruption_fires_even_behind_certain_drop_of_others(self):
+        """The corruption coin is drawn for every message regardless of
+        the drop outcome, keeping the fault stream aligned per message."""
+        from repro.model import AwakeAt, Broadcast
+
+        g = path(30)
+
+        def program(info):
+            inbox = yield AwakeAt(1, Broadcast("x"))
+            return len(inbox)
+
+        plan = FaultPlan(corrupt_probability=1.0, seed=2)
+        sim = FaultySimulator(g, program, plan)
+        sim.run()
+        assert sim.dropped == 0
+        assert sim.corrupted == 2 * (g.n - 1)
+
 
 class TestProtocolsFailLoudly:
     def test_broadcast_detects_missing_parent_message(self):

@@ -239,3 +239,195 @@ class TestCatalog:
         assert "b" in entry.params
         assert entry.value.trace_program is not None
         assert ALGORITHMS.entry("greedy").value.engines == ("reference",)
+
+
+class TestFaultAxis:
+    """Fault injection as a first-class scenario axis."""
+
+    def test_faults_auto_select_faulty_engine(self):
+        s = Scenario(fault_drop=0.1)
+        assert s.faults_active
+        assert s.resolved_engine() == "faulty-simulator"
+        assert s.validate() == []
+
+    def test_fault_free_scenario_resolves_default_engine(self):
+        s = Scenario()
+        assert not s.faults_active
+        assert s.resolved_engine() is None
+
+    def test_explicit_nonfaulty_engine_with_faults_rejected(self):
+        errors = Scenario(fault_corrupt=0.2, engine="simulator").validate()
+        assert any("fault params require engine" in e for e in errors)
+
+    def test_fault_probabilities_validated(self):
+        errors = Scenario(fault_drop=1.5).validate()
+        assert any("fault_drop must be in [0, 1]" in e for e in errors)
+
+    def test_greedy_cannot_run_faulty(self):
+        errors = Scenario(algorithm="greedy", fault_drop=0.5).validate()
+        assert any("does not support engine" in e for e in errors)
+
+    def test_fault_plan_seed_defaults_to_scenario_seed(self):
+        assert Scenario(seed=9, fault_drop=0.1).fault_plan().seed == 9
+        assert (
+            Scenario(seed=9, fault_drop=0.1, fault_seed=4).fault_plan().seed
+            == 4
+        )
+
+    def test_immune_rounds_normalized(self):
+        s = Scenario(immune_rounds=[3, 1, 3, 2])
+        assert s.immune_rounds == (1, 2, 3)
+
+    def test_describe_carries_fault_identity_only_when_active(self):
+        assert "faults" not in Scenario().describe()
+        d = Scenario(fault_corrupt=0.2, fault_seed=5).describe()
+        assert d["faults"]["corrupt_probability"] == 0.2
+        assert d["faults"]["seed"] == 5
+
+    @pytest.mark.parametrize("algorithm", ("theorem1", "baseline", "theorem9"))
+    def test_fault_scenarios_raise_loudly_or_survive(self, algorithm):
+        """End-to-end acceptance: a corrupting scenario either raises a
+        repro error (the designed loud failure) or survives and reports
+        its fault accounting — never a silent wrong outcome."""
+        from repro.errors import ReproError
+
+        scenario = Scenario(
+            family="gnp", n=14, seed=3, problem="mis", algorithm=algorithm,
+            fault_corrupt=0.3,
+        )
+        try:
+            result = run_scenario(scenario)
+        except ReproError:
+            return  # failed loudly: exactly what the fault axis is for
+        assert result.ok
+        extras = result.outcome.extras
+        assert result.outcome.engine == "faulty-simulator"
+        assert extras["corrupted"] >= 0 and "fault_plan" in extras
+        clean = run_scenario(
+            Scenario(family="gnp", n=14, seed=3, problem="mis",
+                     algorithm=algorithm)
+        )
+        # The clean engine label must be untouched.
+        assert clean.outcome.engine == "simulator"
+
+    def test_fault_run_is_deterministic(self):
+        scenario = Scenario(
+            family="path", n=16, seed=2, algorithm="baseline",
+            fault_drop=0.02, fault_seed=11,
+        )
+        from repro.errors import ReproError
+
+        def attempt():
+            try:
+                result = run_scenario(scenario)
+                return ("ok", result.outcome.outputs,
+                        result.outcome.extras.get("dropped"))
+            except ReproError as exc:
+                return ("raised", type(exc).__name__, str(exc))
+
+        assert attempt() == attempt()
+
+    def test_fault_free_grid_cache_keys_unchanged(self):
+        """The fault axis must not shift pre-existing cache identities:
+        a fault-free grid enumerates byte-identical trial kwargs (and
+        therefore cache keys) whether or not the fault parameters exist."""
+        from repro.runner import trial_cache_key
+        from repro.runner.cache import code_version_salt
+
+        salt = code_version_salt()
+        plain = sweep_from_grid(
+            families=["path"], sizes=[8], problems=["mis"],
+            algorithms=["theorem1"],
+        )
+        explicit_zero = sweep_from_grid(
+            families=["path"], sizes=[8], problems=["mis"],
+            algorithms=["theorem1"],
+            fault_drop=0.0, fault_corrupt=0.0, fault_seed=99,
+            immune_rounds=[1, 2],
+        )
+        assert [t.kwargs for t in plain.trials] == [
+            t.kwargs for t in explicit_zero.trials
+        ]
+        assert [trial_cache_key(t, salt) for t in plain.trials] == [
+            trial_cache_key(t, salt) for t in explicit_zero.trials
+        ]
+        # The known-good shape of a fault-free solve trial's kwargs.
+        assert [k for k, _ in plain.trials[0].kwargs] == [
+            "family", "n", "problem", "algorithm", "seed",
+        ]
+
+    def test_faulty_grid_gets_distinct_cache_lane(self):
+        from repro.runner import trial_cache_key
+        from repro.runner.cache import code_version_salt
+
+        salt = code_version_salt()
+        plain = sweep_from_grid(
+            families=["path"], sizes=[8], problems=["mis"],
+            algorithms=["theorem1"],
+        )
+        faulty = sweep_from_grid(
+            families=["path"], sizes=[8], problems=["mis"],
+            algorithms=["theorem1"], fault_drop=0.1,
+        )
+        assert trial_cache_key(plain.trials[0], salt) != trial_cache_key(
+            faulty.trials[0], salt
+        )
+        kwargs = faulty.trials[0].kwargs_dict()
+        assert kwargs["fault_drop"] == 0.1
+        assert kwargs["fault_seed"] != 0  # derived per trial
+        assert "!d=0.1" in faulty.trials[0].label
+
+    def test_fault_grid_runs_end_to_end_with_keep_going(self):
+        """A fault sweep flows through run_grid/run_sweep: trials that
+        raise become failures, survivors aggregate under allow_partial."""
+        result = run_grid(
+            families=("path",), sizes=(8, 12), problems=("mis",),
+            algorithms=("baseline",), trials=2, seed=1,
+            fault_corrupt=0.05, keep_going=True,
+        )
+        total = len(result.spec.trials)
+        assert total == 4
+        assert len(result.outcomes) + len(result.failures) == total
+        if result.failures:
+            assert all(
+                f.error_type.endswith("Error") for f in result.failures
+            )
+            tables = result.experiments(allow_partial=True)
+        else:
+            tables = result.experiments()
+        if result.outcomes:
+            assert len(tables["GRID"].rows) == len(result.outcomes)
+
+    def test_catalog_surfaces_fault_axis(self):
+        axes = catalog()
+        assert "faulty-simulator" in axes["engines"]
+        assert set(axes["fault_params"]) == {
+            "fault_drop", "fault_corrupt", "fault_seed", "immune_rounds",
+        }
+        assert axes["fault_capable"] == ("theorem1", "baseline", "theorem9")
+
+    def test_solve_cli_fault_flags(self):
+        from repro.cli import make_parser
+
+        args = make_parser().parse_args(
+            ["solve", "--fault-drop", "0.2", "--fault-seed", "7",
+             "--immune-rounds", "1", "2"]
+        )
+        assert args.fault_drop == 0.2
+        assert args.fault_seed == 7
+        assert args.immune_rounds == [1, 2]
+
+    def test_solve_cli_fault_run_exit_codes(self, capsys):
+        from repro.cli import main
+
+        # Survivor: tiny drop probability on a path with an immune round.
+        code = main(
+            ["solve", "--family", "path", "--n", "8", "--algorithm",
+             "baseline", "--fault-drop", "0.0001", "--fault-seed", "1"]
+        )
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "faults: engine=faulty-simulator" in out
+        else:
+            assert code == 3
+            assert "faults broke the protocol" in out
