@@ -16,6 +16,13 @@ Measures, on the same machine and in the same process:
   engine vs the seed stack (generator route on the reference loop);
 - **delivery_bound** — dense lockstep broadcast (G(n, 96/n)): per-edge
   delivery dominates; exercises the batched receiver-centric path.
+- **vectorized_greedy / vectorized_baseline** — the whole-frontier
+  numpy engine vs the per-node engines it replaces (native lockstep
+  greedy; the BM21 simulator run), at n = 4096 and n = 2^17 where the
+  vectorized path is the only practical option;
+- **vectorized_mega** — a throughput-only n = 10^6 run of both
+  vectorized solvers (no per-node counterpart is feasible at that
+  size, so no speedup is reported).
 
 Each simulator pair is also checked for *bit-identical* outputs and
 metrics before its timing is reported — a benchmark that changed
@@ -314,6 +321,104 @@ def bench_delivery(n, reps, results):
     }
 
 
+def fast_gnp(n, avg_degree, seed):
+    """Sparse G(n, d/n) via networkx's O(n + m) sampler; the shipped
+    ``gnp`` family walks all n² pairs, infeasible past ~10^4 nodes."""
+    import networkx as nx
+
+    return StaticGraph.from_networkx(
+        nx.fast_gnp_random_graph(n, avg_degree / n, seed=seed)
+    )
+
+
+def bench_vectorized(n, reps, results):
+    """The vectorized engine vs the per-node engines, bit-identical
+    first, timed second. n = 2^17 runs a single rep: the *per-node*
+    side takes minutes there, which is exactly the point."""
+    from repro.core.bm21 import solve_with_baseline
+    from repro.core.bm21_vectorized import solve_with_baseline_vectorized
+    from repro.model.lockstep import greedy_by_id_local
+    from repro.model.vectorized import greedy_by_id_vectorized
+    from repro.olocal import DeltaPlusOneColoring, MaximalIndependentSet
+
+    g = gnp(n, 8.0 / n, seed=1) if n <= 10_000 else fast_gnp(n, 8, seed=1)
+    # Small n: min-of-3 even in --quick, or the one-time numpy/first-call
+    # cost dominates the tiny kernels and quick-mode speedups collapse
+    # far below the committed full-run baseline the CI check compares to.
+    reps = 1 if n > 10_000 else max(reps, 3)
+
+    problem = MaximalIndependentSet()
+    inputs = problem.make_inputs(g)
+    vec_res, t_vec = timed(
+        lambda: greedy_by_id_vectorized(g, problem, inputs=inputs), reps
+    )
+    seed_res, t_seed = timed(
+        lambda: greedy_by_id_local(g, problem, inputs=inputs), reps
+    )
+    case = f"vectorized_greedy/gnp/n={n}"
+    check_identical(vec_res, seed_res, case)
+    node_rounds = vec_res.metrics.total_awake
+    results[case] = {
+        "node_rounds": node_rounds,
+        "new_per_sec": node_rounds / t_vec,
+        "seed_per_sec": node_rounds / t_seed,
+        "speedup": t_seed / t_vec,
+    }
+
+    coloring = DeltaPlusOneColoring()
+    vec_base, t_vec = timed(
+        lambda: solve_with_baseline_vectorized(g, coloring), reps
+    )
+    seed_base, t_seed = timed(lambda: solve_with_baseline(g, coloring), reps)
+    case = f"vectorized_baseline/gnp/n={n}"
+    check_identical(vec_base.simulation, seed_base.simulation, case)
+    assert vec_base.palette == seed_base.palette, f"{case}: palette diverged"
+    node_rounds = vec_base.simulation.metrics.total_awake
+    results[case] = {
+        "node_rounds": node_rounds,
+        "new_per_sec": node_rounds / t_vec,
+        "seed_per_sec": node_rounds / t_seed,
+        "speedup": t_seed / t_vec,
+    }
+
+
+def bench_vectorized_mega(results, n=1_000_000):
+    """Throughput-only n = 10^6: the acceptance run for 'a million-node
+    graph solves in seconds'. No per-node counterpart (it would take
+    hours) and hence no speedup key — ``--check`` skips these cases.
+    Baseline validation is skipped too (``check=False``): the O(V + E)
+    Python checker would dominate the vectorized kernels."""
+    from repro.core.bm21_vectorized import solve_with_baseline_vectorized
+    from repro.model.vectorized import greedy_by_id_vectorized
+    from repro.olocal import DeltaPlusOneColoring, MaximalIndependentSet
+
+    g = fast_gnp(n, 8, seed=1)
+
+    problem = MaximalIndependentSet()
+    inputs = problem.make_inputs(g)
+    res, t = timed(lambda: greedy_by_id_vectorized(g, problem, inputs=inputs), 1)
+    problem.check(g, res.outputs, inputs)
+    node_rounds = res.metrics.total_awake
+    results[f"vectorized_mega_greedy/gnp/n={n}"] = {
+        "node_rounds": node_rounds,
+        "new_per_sec": node_rounds / t,
+        "seconds": t,
+    }
+
+    base, t = timed(
+        lambda: solve_with_baseline_vectorized(
+            g, DeltaPlusOneColoring(), check=False
+        ),
+        1,
+    )
+    node_rounds = base.simulation.metrics.total_awake
+    results[f"vectorized_mega_baseline/gnp/n={n}"] = {
+        "node_rounds": node_rounds,
+        "new_per_sec": node_rounds / t,
+        "seconds": t,
+    }
+
+
 FAMILIES = [
     ("path", lambda n: path(n)),
     ("gnp", lambda n: gnp(n, 8.0 / n, seed=1)),
@@ -342,17 +447,26 @@ def main(argv=None):
             bench_sim(name, factory, n, reps, results)
         bench_delivery(n, reps, results)
 
+    # n=1024 in both modes: the committed full-run file must contain the
+    # quick-mode keys or the CI `--quick --check` would skip them.
+    for n in (1024,) if args.quick else (1024, 4096, 131072):
+        bench_vectorized(n, reps, results)
+    if not args.quick:
+        bench_vectorized_mega(results)
+
     width = max(len(k) for k in results)
     print(f"{'benchmark'.ljust(width)}  {'new/s':>12}  {'seed/s':>12}  {'speedup':>8}")
     for key in sorted(results):
         row = results[key]
         new = row.get("new_per_sec")
         seed = row.get("seed_per_sec")
+        speedup = row.get("speedup")  # throughput-only cases have none
+        tail = f"{speedup:.2f}x" if speedup else f"{row['seconds']:.1f}s"
         print(
             f"{key.ljust(width)}  "
             f"{(f'{new:,.0f}' if new else '-'):>12}  "
             f"{(f'{seed:,.0f}' if seed else '-'):>12}  "
-            f"{row['speedup']:>7.2f}x"
+            f"{tail:>8}"
         )
 
     payload = {

@@ -89,6 +89,7 @@ class Scenario:
     immune_rounds: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
+        """Canonicalize params/immune_rounds into sorted tuples."""
         if isinstance(self.params, Mapping):
             object.__setattr__(
                 self, "params", tuple(sorted(self.params.items()))
@@ -159,12 +160,11 @@ class Scenario:
         try:
             entry = ALGORITHMS.entry(self.algorithm)
             allowed |= set(entry.params)
-            adapter = entry.value
-            if engine is not None and engine not in adapter.engines:
-                errors.append(
-                    f"algorithm {entry.name!r} does not support engine "
-                    f"{engine!r}; supported: {list(adapter.engines)}"
-                )
+            if engine is not None:
+                # Unknown engines list all of ENGINES; known-but-
+                # unsupported ones list the adapter's engines — the same
+                # UnknownNameError messages AlgorithmAdapter.solve raises.
+                entry.value.validate_engine(engine)
         except UnknownNameError as exc:
             errors.append(str(exc.args[0]))
         for name in ("fault_drop", "fault_corrupt"):
@@ -280,6 +280,7 @@ def run_grid(
     cache: Any = None,
     name: str = "grid",
     progress: Any = None,
+    engines: Iterable[str] = (),
     fault_drop: float = 0.0,
     fault_corrupt: float = 0.0,
     fault_seed: int = 0,
@@ -299,9 +300,18 @@ def run_grid(
     Unknown names raise ``KeyError`` listing the valid registry names,
     before anything runs.
 
+    A non-empty ``engines`` adds an engine axis: every (family, n,
+    problem, algorithm) cell runs once per listed engine — the per-trial
+    graph seed is engine-independent, so an engine sweep is a built-in
+    differential test (bit-identical metric columns per cell). Engine
+    names are validated against every selected algorithm up front; the
+    default (no axis) leaves each algorithm on its default engine and
+    keeps pre-existing cache keys byte for byte.
+
     ``fault_drop``/``fault_corrupt``/``fault_seed``/``immune_rounds``
     put every grid trial on the ``faulty-simulator`` engine (fault-free
-    grids keep their existing cache keys). ``runner_options`` are
+    grids keep their existing cache keys; combining them with an
+    ``engines`` axis is rejected). ``runner_options`` are
     forwarded to :func:`~repro.runner.executor.run_sweep` — ``retry``,
     ``timeout``, ``keep_going``, ``journal``, ``max_pool_restarts``.
 
@@ -320,6 +330,7 @@ def run_grid(
         trials_per_config=trials,
         master_seed=seed,
         name=name,
+        engines=tuple(engines),
         fault_drop=fault_drop,
         fault_corrupt=fault_corrupt,
         fault_seed=fault_seed,
@@ -338,29 +349,38 @@ def scenarios_from_grid(
     algorithms: Iterable[str] = ("theorem1",),
     trials: int = 1,
     seed: int = 0,
+    engines: Iterable[str] = (),
 ) -> list[Scenario]:
-    """The scenarios a :func:`run_grid` call would execute, in trial
-    order — with the same content-addressed per-trial seeds — for
-    callers that want to run or inspect them individually."""
+    """The scenarios a :func:`run_grid` call would execute, in trial order.
+
+    Exposed for callers that want to run or inspect trials individually;
+    per-trial seeds are the same content-addressed derivations the grid
+    runner uses. A non-empty ``engines`` fans each cell out across
+    engines (seeds, and therefore graphs, stay engine-independent).
+    """
     from repro.runner.specs import derive_seed
 
+    engine_axis: tuple[str | None, ...] = tuple(engines) or (None,)
     result: list[Scenario] = []
     for family in families:
         for n in sizes:
             for problem in problems:
                 for algorithm in algorithms:
-                    for t in range(trials):
-                        result.append(
-                            Scenario(
-                                family=family,
-                                n=n,
-                                seed=derive_seed(
-                                    seed, family, n, problem, algorithm, t
-                                ),
-                                problem=problem,
-                                algorithm=algorithm,
+                    for engine in engine_axis:
+                        for t in range(trials):
+                            result.append(
+                                Scenario(
+                                    family=family,
+                                    n=n,
+                                    seed=derive_seed(
+                                        seed, family, n, problem,
+                                        algorithm, t,
+                                    ),
+                                    problem=problem,
+                                    algorithm=algorithm,
+                                    engine=engine,
+                                )
                             )
-                        )
     return result
 
 
@@ -368,15 +388,20 @@ def catalog() -> dict[str, Any]:
     """The axes of the scenario space (plugins included).
 
     Canonical names of every registered family, problem, and algorithm,
-    plus the engine names and the fault-axis parameter schema
-    (``fault_params``) and which algorithms accept the
-    ``faulty-simulator`` engine (``fault_capable``)."""
+    plus the engine names, the per-algorithm engine support matrix
+    (``engine_matrix``, default engine first — what ``repro solve
+    --list`` prints), the fault-axis parameter schema (``fault_params``)
+    and which algorithms accept the ``faulty-simulator`` engine
+    (``fault_capable``)."""
     load_plugins()
     return {
         "families": GRAPH_FAMILIES.names(),
         "problems": PROBLEMS.names(),
         "algorithms": ALGORITHMS.names(),
         "engines": ENGINES,
+        "engine_matrix": {
+            name: ALGORITHMS.get(name).engines for name in ALGORITHMS.names()
+        },
         "fault_params": dict(FAULT_PARAMS),
         "fault_capable": tuple(
             name

@@ -94,10 +94,28 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     )
 
 
+def _print_engine_matrix() -> int:
+    """``repro solve --list``: the algorithm × engine support matrix.
+
+    One row per registered algorithm, engines in adapter order — the
+    first listed is that algorithm's default. README.md embeds a copy
+    of this table; a docs test keeps the two in sync.
+    """
+    from repro.registry import load_plugins
+
+    load_plugins()
+    print("algorithm × engine matrix (first listed = default):")
+    for name in ALGORITHMS:
+        print(f"  {name:<10} {' '.join(ALGORITHMS.get(name).engines)}")
+    return 0
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
     """``repro solve``: run any registered algorithm on a generated graph."""
     from repro.errors import ReproError
 
+    if args.list:
+        return _print_engine_matrix()
     scenario = _scenario_from_args(args)
     try:
         result = run_scenario(scenario)
@@ -262,6 +280,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 trials_per_config=args.trials,
                 master_seed=args.seed,
                 name=args.tag or "grid",
+                engines=args.engines,
                 fault_drop=args.fault_drop,
                 fault_corrupt=args.fault_corrupt,
                 fault_seed=args.fault_seed,
@@ -399,7 +418,12 @@ def make_parser() -> argparse.ArgumentParser:
     )
     solve_p.add_argument(
         "--engine", default=None,
-        help="execution engine (default: the algorithm's own)",
+        help="execution engine (default: the algorithm's own; "
+        "see `repro solve --list`)",
+    )
+    solve_p.add_argument(
+        "--list", action="store_true",
+        help="print the algorithm × engine support matrix and exit",
     )
     add_fault_args(solve_p)
     solve_p.add_argument("--show-outputs", action="store_true")
@@ -483,6 +507,11 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--trials", type=int, default=1,
         help="seeded trials per grid cell",
+    )
+    sweep_p.add_argument(
+        "--engines", nargs="*", default=[],
+        help="run every grid cell once per engine (same graph under "
+        "each — a built-in differential test; see `repro solve --list`)",
     )
     sweep_p.add_argument(
         "--list", action="store_true",

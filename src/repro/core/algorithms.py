@@ -29,15 +29,22 @@ Built-in adapters:
   the earlier endpoint's output to the later one (messages = |E|).
 
 Engines: ``simulator`` runs on the Sleeping-LOCAL event loop
-(:class:`repro.model.simulator.SleepingSimulator`); ``reference`` is a
-centralized oracle with deterministic synthetic accounting;
-``faulty-simulator`` is the event loop behind a deterministic
-message-fault filter (:class:`repro.model.faults.FaultySimulator`) —
-the fault-injection axis of the scenario space. Fault runs are
-expected to **fail loudly** (``ProtocolError`` / ``ValidationError``)
-when a fault actually breaks the protocol; a run that survives reports
-its ``dropped``/``corrupted`` counts in ``extras``. Each adapter
-declares which engines it supports; the first is its default.
+(:class:`repro.model.simulator.SleepingSimulator`) or, for lockstep
+algorithms, the equivalent native loop of
+:func:`repro.model.lockstep.run_local`; ``reference`` is a centralized
+oracle with deterministic synthetic accounting; ``vectorized`` replaces
+per-node dispatch with whole-graph numpy kernels
+(:mod:`repro.model.vectorized`) — bit-identical outputs and metrics,
+built for n ≥ 10⁵ (requires numpy); ``faulty-simulator`` is the event
+loop behind a deterministic message-fault filter
+(:class:`repro.model.faults.FaultySimulator`) — the fault-injection
+axis of the scenario space. Fault runs are expected to **fail loudly**
+(``ProtocolError`` / ``ValidationError``) when a fault actually breaks
+the protocol; a run that survives reports its ``dropped``/``corrupted``
+counts in ``extras``. Each adapter declares which engines it supports;
+the first is its default. Unknown or unsupported engine names raise
+:class:`~repro.registry.UnknownNameError` listing the valid choices,
+exactly like family/problem/algorithm name lookups.
 """
 
 from __future__ import annotations
@@ -48,14 +55,15 @@ from typing import Any, Callable, Mapping
 
 from repro.graphs.graph import StaticGraph
 from repro.olocal.problem import OLocalProblem
-from repro.registry import Registry, RegistryError
+from repro.registry import Registry, RegistryError, UnknownNameError
 from repro.types import NodeId
 
 #: Engine names (see module docstring).
 ENGINE_SIMULATOR = "simulator"
 ENGINE_REFERENCE = "reference"
 ENGINE_FAULTY = "faulty-simulator"
-ENGINES = (ENGINE_SIMULATOR, ENGINE_REFERENCE, ENGINE_FAULTY)
+ENGINE_VECTORIZED = "vectorized"
+ENGINES = (ENGINE_SIMULATOR, ENGINE_REFERENCE, ENGINE_FAULTY, ENGINE_VECTORIZED)
 
 #: Parameter schema of the fault axis — what ``catalog()`` and ``repro
 #: sweep --list`` surface for the ``faulty-simulator`` engine.
@@ -123,6 +131,25 @@ class AlgorithmAdapter:
         """The engine used when a scenario does not pick one."""
         return self.engines[0]
 
+    def validate_engine(self, engine: str) -> None:
+        """Reject unknown or unsupported engine names.
+
+        Raises :class:`~repro.registry.UnknownNameError` — a name not in
+        :data:`ENGINES` at all lists every engine; a known engine this
+        adapter does not run lists the adapter's supported ones. Both
+        stay catchable as ``RegistryError`` and ``KeyError``, matching
+        the registries' own unknown-name behavior.
+        """
+        if engine not in ENGINES:
+            raise UnknownNameError(
+                f"unknown engine {engine!r}; choose from {list(ENGINES)}"
+            )
+        if engine not in self.engines:
+            raise UnknownNameError(
+                f"algorithm {self.name!r} does not support engine "
+                f"{engine!r}; supported: {list(self.engines)}"
+            )
+
     def solve(
         self,
         graph: StaticGraph,
@@ -132,11 +159,7 @@ class AlgorithmAdapter:
     ) -> SolveOutcome:
         """Run the algorithm; ``engine=None`` selects the default."""
         chosen = self.default_engine if engine is None else engine
-        if chosen not in self.engines:
-            raise RegistryError(
-                f"algorithm {self.name!r} does not support engine "
-                f"{chosen!r}; supported: {list(self.engines)}"
-            )
+        self.validate_engine(chosen)
         return self.run(graph, problem, chosen, **params)
 
 
@@ -201,6 +224,7 @@ class _FaultInjector:
     """
 
     def __init__(self, engine: str, fault_plan: Any) -> None:
+        """Resolve the fault plan for ``engine`` (None on plain engines)."""
         if engine != ENGINE_FAULTY and fault_plan is not None:
             raise RegistryError(
                 f"fault_plan requires engine {ENGINE_FAULTY!r}, "
@@ -247,6 +271,7 @@ class _FaultInjector:
             ) from exc
 
     def __call__(self, graph: StaticGraph, program: Any, inputs: Any = None):
+        """Construct (and remember) the FaultySimulator for this run."""
         from repro.model.faults import FaultySimulator
 
         self.simulator = FaultySimulator(
@@ -329,7 +354,7 @@ def _run_theorem1(
     "baseline",
     title="BM21 baseline — Linial + Lemma 11, awake O(log Δ + log* n)",
     aliases=("bm21",),
-    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY),
+    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY, ENGINE_VECTORIZED),
     trace_program=_trace_baseline,
 )
 def _run_baseline(
@@ -338,12 +363,25 @@ def _run_baseline(
     engine: str,
     fault_plan: Any = None,
 ) -> SolveOutcome:
-    """The BM21 baseline end to end on the Sleeping simulator."""
-    from repro.core.bm21 import solve_with_baseline
+    """The BM21 baseline end to end.
 
+    The ``simulator``/``faulty-simulator`` engines run the per-node
+    generator program on the Sleeping event loop; ``vectorized`` runs
+    the array-kernel twin (:mod:`repro.core.bm21_vectorized`) with
+    bit-identical outputs and metrics.
+    """
     faults = _FaultInjector(engine, fault_plan)
-    with faults.guarding():
-        result = solve_with_baseline(graph, problem, simulator=faults.factory)
+    if engine == ENGINE_VECTORIZED:
+        from repro.core.bm21_vectorized import solve_with_baseline_vectorized
+
+        result = solve_with_baseline_vectorized(graph, problem)
+    else:
+        from repro.core.bm21 import solve_with_baseline
+
+        with faults.guarding():
+            result = solve_with_baseline(
+                graph, problem, simulator=faults.factory
+            )
     return _simulation_outcome(
         "baseline",
         result.outputs,
@@ -407,19 +445,45 @@ def _run_theorem9(
     title="Sequential greedy reference (increasing-ID priority), "
     "centralized oracle",
     aliases=("reference",),
-    engines=(ENGINE_REFERENCE,),
+    engines=(ENGINE_REFERENCE, ENGINE_SIMULATOR, ENGINE_VECTORIZED),
 )
 def _run_greedy(
     graph: StaticGraph, problem: OLocalProblem, engine: str
 ) -> SolveOutcome:
-    """The definitional sequential greedy under increasing-ID priority.
+    """The greedy-by-ID algorithm, as oracle or as distributed strawman.
 
-    Accounting is the sequential schedule itself (see the module
+    ``reference`` (the default) is the definitional *sequential* greedy
+    whose accounting is the sequential schedule itself (see the module
     docstring): awake = 1, average = 1.0, rounds = n, messages = |E|.
+
+    ``simulator`` runs the distributed always-awake lockstep strawman
+    (:func:`repro.model.lockstep.greedy_by_id_local`) — same outputs,
+    but *measured* Sleeping-model accounting with awake complexity
+    Θ(longest increasing-ID path), the cost the paper's algorithms
+    undercut. ``vectorized`` is its array-kernel twin
+    (:func:`repro.model.vectorized.greedy_by_id_vectorized`),
+    bit-identical metrics at n ≥ 10⁶ scale.
     """
+    inputs = problem.make_inputs(graph)
+    if engine != ENGINE_REFERENCE:
+        if engine == ENGINE_VECTORIZED:
+            from repro.model.vectorized import greedy_by_id_vectorized
+
+            result = greedy_by_id_vectorized(graph, problem, inputs=inputs)
+        else:
+            from repro.model.lockstep import greedy_by_id_local
+
+            result = greedy_by_id_local(graph, problem, inputs=inputs)
+        problem.check(graph, result.outputs, inputs)
+        return _simulation_outcome(
+            "greedy",
+            result.outputs,
+            result,
+            extras={"priority": "increasing ID", "schedule": "lockstep"},
+            engine=engine,
+        )
     from repro.olocal.problem import id_priority, sequential_greedy
 
-    inputs = problem.make_inputs(graph)
     outputs = sequential_greedy(graph, problem, priority=id_priority, inputs=inputs)
     problem.check(graph, outputs, inputs)
     return SolveOutcome(

@@ -1,0 +1,180 @@
+"""The BM21 baseline (Linial + Lemma 11) as array kernels.
+
+Vectorized counterpart of :func:`repro.core.bm21.solve_with_baseline`,
+bit-identical in outputs and metrics (the differential suite in
+``tests/test_engine_equivalence.py`` is the gate) but with per-round
+work replaced by whole-frontier numpy operations:
+
+- **Linial phase** — every reduction step evaluates all nodes' color
+  polynomials (Horner over the little-endian base-q digit matrix) at
+  x = 0, 1, ... and retires the frontier of nodes whose value differs
+  from every neighbor's (a segment-any over the CSR gather); identical
+  to :func:`repro.core.linial._reduce_one` picking the first safe x.
+- **Lemma 11 phase** — nodes decide in increasing color order. On the
+  simulator, a node of color c accumulates payloads at its receiving
+  rounds r<(c) and decides at φ(c); by the Lemma 10 meeting-point
+  property the accumulated senders are then *exactly* its lower-colored
+  neighbors (in both ``neighbors`` and ``full`` locality — relays can
+  only ever carry already-decided, i.e. lower-colored, outputs), so
+  batching each color class through a
+  :func:`~repro.model.vectorized.make_wave_decider` kernel reproduces
+  every decision exactly (a color class is an independent set).
+- **Accounting in closed form** — with distance-1 Linial every node is
+  awake for the ``steps`` reduction rounds and then exactly at rounds
+  ``steps + x`` for x in r(c): ``awake(v) = steps + |r(c_v)|``,
+  ``termination(v) = steps + max r(c_v)``, per-node sends are
+  ``deg(v)`` dict messages per Linial round plus ``deg(v)`` at φ(c)
+  and each x in r>(c) (the simulator counts *sent* messages, delivered
+  or not), and ``active_rounds`` adds one per distinct x over the
+  *present* colors' calendars.
+
+Everything per-color is computed once per distinct color via
+:class:`~repro.core.mapping.ColorScheduleMapping` — O(palette · log q)
+Python work — then scattered to nodes with one ``searchsorted``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.bm21 import BaselineResult
+from repro.core.linial import final_palette, reduction_schedule
+from repro.core.mapping import ColorScheduleMapping
+from repro.errors import ProtocolError, ReproError
+from repro.graphs.arrays import ragged_gather, require_numpy, segment_any
+from repro.graphs.graph import StaticGraph
+from repro.model.metrics import SimulationMetrics
+from repro.model.simulator import SimulationResult
+from repro.model.vectorized import make_wave_decider
+from repro.olocal.problem import OLocalProblem
+from repro.types import NodeId
+
+
+def _linial_step_vectorized(graph: StaticGraph, colors: Any, d: int, q: int) -> Any:
+    """One Linial reduction step over all nodes at once.
+
+    For each node, the new color is ``x·q + p(x)`` for the *first*
+    x ∈ F_q where its degree-d color polynomial differs from every
+    neighbor's — the exact rule of
+    :func:`repro.core.linial._reduce_one`, with the per-x safety check
+    batched over the still-undecided frontier.
+    """
+    np = require_numpy()
+    ga = graph.arrays
+    width = d + 1
+    digits = np.empty((ga.n, width), dtype=np.int64)
+    rest = colors.copy()
+    for j in range(width):
+        digits[:, j] = rest % q
+        rest //= q
+    if rest.any():
+        bad = int(ga.ids[np.flatnonzero(rest)[0]])
+        raise ReproError(
+            f"node {bad}: color does not fit in {width} base-{q} digits"
+        )
+
+    values = np.zeros(ga.n, dtype=np.int64)
+    new_colors = np.empty(ga.n, dtype=np.int64)
+    undecided = np.arange(ga.n, dtype=np.int64)
+    for x in range(q):
+        if not undecided.size:
+            return new_colors
+        nbrs, counts = ragged_gather(ga.offsets, ga.flat, undecided)
+        # Evaluate only the rows this iteration reads (frontier ∪ its
+        # neighborhood); stale entries elsewhere are never consulted.
+        needed = np.unique(np.concatenate((undecided, nbrs)))
+        acc = np.zeros(len(needed), dtype=np.int64)
+        for j in range(width - 1, -1, -1):
+            acc = (acc * x + digits[needed, j]) % q
+        values[needed] = acc
+        clash = values[nbrs] == np.repeat(values[undecided], counts)
+        conflicted = segment_any(clash, counts)
+        safe = undecided[~conflicted]
+        new_colors[safe] = x * q + values[safe]
+        undecided = undecided[conflicted]
+    if undecided.size:
+        me = int(ga.ids[undecided[0]])
+        raise ProtocolError(
+            f"node {me}: no safe evaluation point in F_{q} — the input "
+            f"coloring was not proper or the degree bound was violated"
+        )
+    return new_colors
+
+
+def solve_with_baseline_vectorized(
+    graph: StaticGraph,
+    problem: OLocalProblem,
+    inputs: Mapping[NodeId, Any] | None = None,
+    check: bool = True,
+) -> BaselineResult:
+    """Run the BM21 baseline end to end on the vectorized engine.
+
+    Drop-in for :func:`repro.core.bm21.solve_with_baseline` (same result
+    type, same validation) minus the ``simulator`` hook — fault
+    injection stays a per-node-engine feature. ``check=False`` skips the
+    O(V + E) Python output validation, for throughput measurements at
+    n ≥ 10⁶ where validation would dominate the vectorized runtime.
+    """
+    np = require_numpy()
+    delta = max(graph.max_degree, 1)
+    node_inputs = (
+        dict(inputs) if inputs is not None else problem.make_inputs(graph)
+    )
+    metrics = SimulationMetrics()
+    palette = final_palette(graph.id_space, delta)
+    if graph.n == 0:
+        simulation = SimulationResult(outputs={}, metrics=metrics, graph=graph)
+        return BaselineResult(outputs={}, simulation=simulation, palette=palette)
+
+    ga = graph.arrays
+    schedule = reduction_schedule(graph.id_space, delta)
+    steps = len(schedule)
+    colors = ga.ids - 1  # IDs are a proper coloring with palette id_space
+    for d, q in schedule:
+        colors = _linial_step_vectorized(graph, colors, d, q)
+    colors = colors + 1  # the Lemma 11 calendar is 1-based
+
+    # Decide color classes in increasing color order — each class is an
+    # independent set whose decided neighbors are exactly the
+    # lower-colored ones, matching the simulator's φ-ordered decisions.
+    decider = make_wave_decider(graph, problem, node_inputs)
+    order = np.argsort(colors, kind="stable")
+    sorted_colors = colors[order]
+    bounds = np.flatnonzero(np.diff(sorted_colors)) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [ga.n]))
+    for lo, hi in zip(starts.tolist(), ends.tolist()):
+        decider.decide_wave(order[lo:hi])
+    outputs = decider.outputs()
+    if check:
+        problem.check(graph, outputs, node_inputs)
+
+    # Closed-form accounting, one mapping evaluation per distinct color.
+    mapping = ColorScheduleMapping.for_palette(palette)
+    present = sorted_colors[starts].tolist()
+    awake_by_color, term_by_color, sends_by_color = [], [], []
+    phase2_rounds: set[int] = set()
+    for c in present:
+        r = mapping.r(c)
+        phi = mapping.phi(c)
+        awake_by_color.append(steps + len(r))
+        term_by_color.append(steps + r[-1])
+        sends_by_color.append(1 + sum(1 for x in r if x > phi))
+        phase2_rounds.update(r)
+    lookup = np.searchsorted(np.asarray(present, dtype=np.int64), colors)
+    awake = np.asarray(awake_by_color, dtype=np.int64)[lookup]
+    term = np.asarray(term_by_color, dtype=np.int64)[lookup]
+    sends = np.asarray(sends_by_color, dtype=np.int64)[lookup]
+
+    ids = ga.ids.tolist()
+    metrics.awake_rounds = dict(zip(ids, awake.tolist()))
+    metrics.termination_round = dict(zip(ids, term.tolist()))
+    metrics.messages_sent = steps * 2 * graph.num_edges + int(
+        sends @ ga.degrees
+    )
+    metrics.active_rounds = steps + len(phase2_rounds)
+    metrics.last_round = steps + max(max(mapping.r(c)) for c in present)
+    simulation = SimulationResult(outputs=outputs, metrics=metrics, graph=graph)
+    return BaselineResult(
+        outputs=outputs, simulation=simulation, palette=palette
+    )

@@ -1,0 +1,150 @@
+"""A numpy mirror of the CSR graph index, for the vectorized engine.
+
+:class:`GraphArrays` re-exports the Python-list CSR layout of
+:class:`~repro.graphs.graph._GraphIndex` as int64 numpy arrays, plus the
+derived views the bulk-synchronous kernels need (per-edge source slots,
+the "up" CSR restricted to larger-ID neighbors). It is built lazily and
+cached on the owning :class:`~repro.graphs.graph.StaticGraph`, exactly
+like the index itself, so graphs that never meet the vectorized engine
+never pay for it — and :mod:`repro.graphs.graph` never imports numpy.
+
+The module degrades gracefully: importing it without numpy installed
+works; *using* it raises :class:`~repro.errors.SimulationError` with an
+actionable message (numpy is a core dependency of the vectorized engine
+only — every other engine remains pure Python).
+
+Slot order is ID order: ``_GraphIndex.nodes`` is sorted ascending, so
+``slot_u < slot_v  ⇔  id_u < id_v`` and the kernels compare slots where
+the sequential code compares IDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+
+try:  # gated: numpy is required by the vectorized engine only
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:
+    from repro.graphs.graph import _GraphIndex
+
+#: True when numpy is importable (the vectorized engine's availability).
+HAS_NUMPY = np is not None
+
+
+def require_numpy() -> Any:
+    """Return the numpy module or fail loudly with install guidance."""
+    if np is None:  # pragma: no cover - exercised only without numpy
+        raise SimulationError(
+            "the vectorized engine requires numpy; install it "
+            "(pip install numpy) or pick the 'simulator' engine"
+        )
+    return np
+
+
+@dataclass(frozen=True)
+class GraphArrays:
+    """int64 CSR arrays of a graph, slot-addressed (slot ``i`` ↔ ``ids[i]``).
+
+    Attributes:
+        ids: node IDs, ascending (shape ``(n,)``).
+        offsets: CSR row pointers (shape ``(n + 1,)``);
+            ``flat[offsets[i]:offsets[i + 1]]`` are slot i's neighbors.
+        flat: neighbor *slots*, concatenated in per-node sorted order
+            (shape ``(2E,)``).
+        degrees: per-slot degree (shape ``(n,)``).
+    """
+
+    ids: Any
+    offsets: Any
+    flat: Any
+    degrees: Any
+
+    @classmethod
+    def from_index(cls, index: "_GraphIndex") -> "GraphArrays":
+        """Mirror a built :class:`_GraphIndex` into numpy arrays."""
+        require_numpy()
+        return cls(
+            ids=np.asarray(index.nodes, dtype=np.int64),
+            offsets=np.asarray(index.offsets, dtype=np.int64),
+            flat=np.asarray(index.flat_slots, dtype=np.int64),
+            degrees=np.asarray(index.degrees, dtype=np.int64),
+        )
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.ids)
+
+    @cached_property
+    def edge_sources(self) -> Any:
+        """Source slot of every ``flat`` entry (shape ``(2E,)``)."""
+        return np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+
+    @cached_property
+    def up(self) -> tuple[Any, Any]:
+        """The "up" CSR: directed edges slot → larger slot (= larger ID).
+
+        Returns ``(up_offsets, up_flat)`` delimiting, per slot, its
+        neighbors of strictly larger ID — the orientation every
+        increasing-priority kernel walks.
+        """
+        mask = self.flat > self.edge_sources
+        up_counts = segment_sum(mask.astype(np.int64), self.offsets)
+        up_offsets = np.empty(self.n + 1, dtype=np.int64)
+        up_offsets[0] = 0
+        np.cumsum(up_counts, out=up_offsets[1:])
+        return up_offsets, self.flat[mask]
+
+
+# -- segment helpers ---------------------------------------------------------
+#
+# All reductions use the cumsum-difference trick rather than
+# ``np.ufunc.reduceat``: reduceat returns ``x[start]`` (not the identity)
+# for zero-length segments, which would silently corrupt isolated- or
+# zero-degree-node rows.
+
+
+def segment_sum(values: Any, offsets: Any) -> Any:
+    """Per-segment sums of ``values`` delimited by CSR ``offsets``."""
+    cum = np.empty(len(values) + 1, dtype=np.int64)
+    cum[0] = 0
+    np.cumsum(values, out=cum[1:])
+    return cum[offsets[1:]] - cum[offsets[:-1]]
+
+
+def segment_any(flags: Any, counts: Any) -> Any:
+    """Per-segment OR of boolean ``flags`` grouped by ``counts``.
+
+    Segments are consecutive; ``counts[i]`` is segment i's length (zero
+    allowed, reducing to False).
+    """
+    cum = np.empty(len(flags) + 1, dtype=np.int64)
+    cum[0] = 0
+    np.cumsum(flags, out=cum[1:])
+    ends = np.cumsum(counts)
+    return (cum[ends] - cum[ends - counts]) > 0
+
+
+def ragged_gather(offsets: Any, flat: Any, slots: Any) -> tuple[Any, Any]:
+    """Concatenate ``flat[offsets[s]:offsets[s + 1]]`` for each ``s``.
+
+    The vectorized analogue of ``[x for s in slots for x in nbrs(s)]``:
+    returns ``(values, counts)`` where ``counts[i]`` is slot
+    ``slots[i]``'s segment length, so downstream segment reductions can
+    regroup. Runs in O(total output) — no per-slot Python loop.
+    """
+    counts = offsets[slots + 1] - offsets[slots]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=flat.dtype), counts
+    starts = offsets[slots]
+    shifted = np.cumsum(counts) - counts  # output start of each segment
+    idx = np.repeat(starts - shifted, counts) + np.arange(total, dtype=np.int64)
+    return flat[idx], counts

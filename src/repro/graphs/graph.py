@@ -137,6 +137,23 @@ class StaticGraph:
             object.__setattr__(self, "_index_cache", index)
         return index
 
+    @property
+    def arrays(self):
+        """The numpy CSR mirror of the index (vectorized-engine fast path).
+
+        Built lazily on first access and cached like the index itself;
+        see :class:`repro.graphs.arrays.GraphArrays`. Raises
+        :class:`~repro.errors.SimulationError` when numpy is missing —
+        every non-vectorized engine works without it.
+        """
+        arrays = self.__dict__.get("_arrays_cache")
+        if arrays is None:
+            from repro.graphs.arrays import GraphArrays
+
+            arrays = GraphArrays.from_index(self._index)
+            object.__setattr__(self, "_arrays_cache", arrays)
+        return arrays
+
     @staticmethod
     def from_edges(
         edges: Iterable[tuple[NodeId, NodeId]],

@@ -46,8 +46,11 @@ _MISSING = object()
 
 
 class RegistryError(ReproError):
-    """A registration conflict: duplicate name, colliding alias, or a
-    value wired up with parameters its schema does not declare."""
+    """A registration conflict.
+
+    Raised for a duplicate name, a colliding alias, or a value wired up
+    with parameters its schema does not declare.
+    """
 
 
 class UnknownNameError(RegistryError, KeyError):
@@ -88,6 +91,7 @@ class Registry(Generic[T]):
     """
 
     def __init__(self, kind: str) -> None:
+        """Create an empty registry holding ``kind``-labelled values."""
         self.kind = kind
         self._entries: dict[str, RegistryEntry[T]] = {}
         self._aliases: dict[str, str] = {}
@@ -102,8 +106,11 @@ class Registry(Generic[T]):
         aliases: tuple[str, ...] | list[str] = (),
         params: Mapping[str, str] | None = None,
     ) -> RegistryEntry[T]:
-        """Register ``value`` under ``name``; raises :class:`RegistryError`
-        on any duplicate name or alias (including within this call)."""
+        """Register ``value`` under ``name``.
+
+        Raises :class:`RegistryError` on any duplicate name or alias
+        (including duplicates within this call).
+        """
         entry = RegistryEntry(
             name=name,
             value=value,
@@ -153,8 +160,10 @@ class Registry(Generic[T]):
     # -- lookup --------------------------------------------------------------
 
     def resolve(self, name: str) -> str:
-        """Canonical name for ``name`` (which may be an alias); raises
-        :class:`UnknownNameError` listing the valid names."""
+        """Canonical name for ``name`` (which may be an alias).
+
+        Raises :class:`UnknownNameError` listing the valid names.
+        """
         if name in self._entries:
             return name
         if name in self._aliases:
@@ -191,18 +200,23 @@ class Registry(Generic[T]):
     # -- dict-compatible views ----------------------------------------------
 
     def __getitem__(self, name: str) -> T:
+        """``registry[name]`` — :meth:`get` without a default."""
         return self.get(name)
 
     def __contains__(self, name: object) -> bool:
+        """Whether ``name`` is a registered name or alias."""
         return name in self._entries or name in self._aliases
 
     def __iter__(self) -> Iterator[str]:
+        """Iterate canonical names in registration order."""
         return iter(self._entries)
 
     def __len__(self) -> int:
+        """Number of registered entries (aliases not counted)."""
         return len(self._entries)
 
     def __repr__(self) -> str:
+        """Kind plus the registered names, for debugging."""
         return f"Registry({self.kind!r}, names={list(self._entries)})"
 
     def names(self) -> tuple[str, ...]:

@@ -114,6 +114,7 @@ def sweep_from_grid(
     trials_per_config: int = 1,
     master_seed: int = 0,
     name: str = "grid",
+    engines: Iterable[str] = (),
     fault_drop: float = 0.0,
     fault_corrupt: float = 0.0,
     fault_seed: int = 0,
@@ -121,10 +122,18 @@ def sweep_from_grid(
 ) -> SweepSpec:
     """Enumerate a seeded (family, n, problem, algorithm) solve grid.
 
-    Families, problems, and algorithms are validated against the
+    Families, problems, algorithms — and, when the ``engines`` axis is
+    used, every (algorithm, engine) pair — are validated against the
     registries up front (like experiment ids in
     :func:`sweep_from_experiments`), so a typo fails at
     spec-construction time rather than inside a worker.
+
+    A non-empty ``engines`` runs every grid cell once per engine. The
+    per-trial seed is engine-*independent* (the same graph under every
+    engine — an engine sweep doubles as a differential test), and the
+    engine kwarg is appended **only when the axis is active**, so plain
+    sweeps keep their pre-existing trial cache keys byte for byte —
+    the same contract as the fault kwargs below.
 
     Nonzero ``fault_drop``/``fault_corrupt`` put every trial on the
     ``faulty-simulator`` engine; each trial's fault RNG seed is derived
@@ -132,7 +141,8 @@ def sweep_from_grid(
     fault stream is as reproducible as the graph itself. Fault kwargs
     are appended to the trial kwargs **only when the fault axis is
     active**, so fault-free sweeps keep their pre-existing trial cache
-    keys byte for byte.
+    keys byte for byte. The fault axis forces the ``faulty-simulator``
+    engine, so combining it with an ``engines`` axis is rejected.
     """
     from repro.core.algorithms import ALGORITHMS
     from repro.graphs.families import GRAPH_FAMILIES
@@ -165,49 +175,65 @@ def sweep_from_grid(
     # shift every pre-existing trial's derived seed and cache key.
     algorithms = [ALGORITHMS.resolve(a) for a in algorithms]
     faults_active = fault_drop > 0 or fault_corrupt > 0
+    engine_list = list(engines)
+    if engine_list and faults_active:
+        raise KeyError(
+            "the engines axis cannot be combined with fault injection "
+            "(faults force the 'faulty-simulator' engine)"
+        )
+    for algorithm in algorithms:
+        for engine in engine_list:
+            # UnknownNameError is a KeyError: same failure mode as the
+            # name checks above.
+            ALGORITHMS.get(algorithm).validate_engine(engine)
+    engine_axis: list[str | None] = engine_list or [None]
     immune = tuple(sorted(set(immune_rounds)))
     trials = []
     for family in families:
         for n in sizes:
             for problem in problems:
                 for algorithm in algorithms:
-                    for t in range(trials_per_config):
-                        seed = derive_seed(
-                            master_seed, family, n, problem, algorithm, t
-                        )
-                        kwargs = [
-                            ("family", family),
-                            ("n", n),
-                            ("problem", problem),
-                            ("algorithm", algorithm),
-                            ("seed", seed),
-                        ]
-                        label = (
-                            f"{family}/n={n}/{problem}/{algorithm}#{t}"
-                        )
-                        if faults_active:
-                            kwargs += [
-                                ("fault_drop", fault_drop),
-                                ("fault_corrupt", fault_corrupt),
-                                (
-                                    "fault_seed",
-                                    derive_seed(seed, "fault", fault_seed),
-                                ),
-                                ("immune_rounds", immune),
+                    for engine in engine_axis:
+                        for t in range(trials_per_config):
+                            seed = derive_seed(
+                                master_seed, family, n, problem, algorithm, t
+                            )
+                            kwargs = [
+                                ("family", family),
+                                ("n", n),
+                                ("problem", problem),
+                                ("algorithm", algorithm),
+                                ("seed", seed),
                             ]
-                            label += (
-                                f"!d={fault_drop:g},c={fault_corrupt:g}"
+                            label = (
+                                f"{family}/n={n}/{problem}/{algorithm}#{t}"
                             )
-                        trials.append(
-                            TrialSpec(
-                                index=len(trials),
-                                kind=KIND_SOLVE,
-                                key=problem,
-                                label=label,
-                                kwargs=tuple(kwargs),
-                                seed=seed,
+                            if engine is not None:
+                                kwargs.append(("engine", engine))
+                                label += f"@{engine}"
+                            if faults_active:
+                                kwargs += [
+                                    ("fault_drop", fault_drop),
+                                    ("fault_corrupt", fault_corrupt),
+                                    (
+                                        "fault_seed",
+                                        derive_seed(seed, "fault", fault_seed),
+                                    ),
+                                    ("immune_rounds", immune),
+                                ]
+                                label += (
+                                    f"!d={fault_drop:g},c={fault_corrupt:g}"
+                                )
+                            trials.append(
+                                TrialSpec(
+                                    index=len(trials),
+                                    kind=KIND_SOLVE,
+                                    key=problem,
+                                    label=label,
+                                    kwargs=tuple(kwargs),
+                                    seed=seed,
+                                )
                             )
-                        )
     return SweepSpec(name=name, trials=tuple(trials), master_seed=master_seed)
 
 
@@ -222,6 +248,7 @@ def solve_trial(
     seed: int,
     p: float = 0.15,
     degree: int = 4,
+    engine: str | None = None,
     fault_drop: float = 0.0,
     fault_corrupt: float = 0.0,
     fault_seed: int = 0,
@@ -232,7 +259,9 @@ def solve_trial(
 
     Runs worker-side: plugins are (re)loaded here so spawned workers —
     which do not inherit the parent's registrations — resolve the same
-    names the parent validated at spec time. Nonzero fault
+    names the parent validated at spec time. An explicit ``engine``
+    (from the sweep's engines axis) is forwarded to the adapter and
+    echoed in an extra trailing row column. Nonzero fault
     probabilities run on the ``faulty-simulator`` engine; protocols are
     expected to raise (``ProtocolError``/``ValidationError``) when a
     fault actually breaks them, which surfaces as a trial failure.
@@ -260,7 +289,9 @@ def solve_trial(
             fault_plan=plan,
         )
     else:
-        outcome = ALGORITHMS.get(algorithm).solve(graph, PROBLEMS.get(problem))
+        outcome = ALGORITHMS.get(algorithm).solve(
+            graph, PROBLEMS.get(problem), engine=engine
+        )
     row = (
         family,
         graph.n,
@@ -273,6 +304,8 @@ def solve_trial(
         outcome.round_complexity,
         outcome.messages_sent,
     )
+    if engine is not None:
+        row += (engine,)
     return {"rows": [row]}
 
 
@@ -311,10 +344,19 @@ def aggregate_sweep(
     for exp_id, group in by_experiment.items():
         results[exp_id] = TRIAL_PLANS[exp_id].aggregate(group)
     if grid_rows:
+        headers = list(SOLVE_HEADERS)
+        if any(len(row) > len(SOLVE_HEADERS) for row in grid_rows):
+            # Engine-axis sweeps carry a trailing engine column; pad the
+            # rows of any engine-less trials mixed into the same sweep.
+            headers.append("engine")
+            grid_rows = [
+                tuple(row) + ("",) * (len(headers) - len(row))
+                for row in grid_rows
+            ]
         results["GRID"] = ExperimentResult(
             exp_id="GRID",
             title="Seeded solve sweep (family × n × problem × algorithm)",
-            headers=list(SOLVE_HEADERS),
+            headers=headers,
             rows=grid_rows,
         )
     return results

@@ -165,7 +165,20 @@ class TestCommands:
     def test_unsupported_engine_rejected(self):
         with pytest.raises(SystemExit, match="does not support engine"):
             main(["solve", "--family", "path", "--n", "8",
-                  "--algorithm", "greedy", "--engine", "simulator"])
+                  "--algorithm", "theorem1", "--engine", "vectorized"])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit, match="unknown engine"):
+            main(["solve", "--family", "path", "--n", "8",
+                  "--algorithm", "greedy", "--engine", "warp"])
+
+    def test_solve_list_prints_engine_matrix(self, capsys):
+        assert main(["solve", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm × engine matrix" in out
+        for name in ("theorem1", "baseline", "theorem9", "greedy"):
+            assert name in out
+        assert "vectorized" in out
 
     def test_trace_unsupported_for_greedy(self):
         with pytest.raises(SystemExit, match="--trace is not supported"):

@@ -1,13 +1,16 @@
 """Differential tests: the rewritten event loops are *bit-identical* to
 the seed implementation.
 
-Three engines exist after the fast-path rewrite:
+Four engines exist after the fast-path rewrite:
 
 - :class:`SleepingSimulator` — bucketed wake queue, lockstep carry,
   zero-copy broadcasts, lazy inboxes;
 - :class:`ReferenceSleepingSimulator` — the seed loop, kept verbatim;
 - ``run_local(engine="native")`` — the dedicated lockstep loop, vs the
-  generator route (``engine="simulator"``).
+  generator route (``engine="simulator"``);
+- the ``vectorized`` engine — whole-frontier numpy kernels
+  (:func:`greedy_by_id_vectorized`, :func:`solve_with_baseline_vectorized`)
+  vs their per-node counterparts.
 
 Every test runs the same programs on both sides of a pair and asserts
 equal outputs and equal metrics (awake/round complexity, messages_sent,
@@ -16,7 +19,15 @@ per-node awake and termination accounting).
 
 import pytest
 
-from repro.graphs import complete_graph, gnp, path, preferential_attachment, star
+from repro.graphs import (
+    complete_graph,
+    cycle,
+    gnp,
+    path,
+    preferential_attachment,
+    random_tree,
+    star,
+)
 from repro.model import AwakeAt, Broadcast, SleepingSimulator
 from repro.model.lockstep import greedy_by_id_local, run_local
 from repro.model.reference import ReferenceSleepingSimulator
@@ -275,3 +286,70 @@ def test_native_engine_runaway_detected():
 def test_unknown_engine_rejected():
     with pytest.raises(ValueError, match="unknown engine"):
         run_local(path(2), lambda s: None, lambda s, r, i: None, engine="turbo")
+
+
+# -- vectorized engine vs the per-node engines --------------------------------
+
+# Beyond the shared GRAPHS corpus: structures that stress the wave
+# kernels differently — long dependency chains (cycle), non-contiguous
+# and non-monotone id spaces (permuted / polynomial), and the n ∈ {1, 2}
+# degenerate shapes.
+VEC_GRAPHS = GRAPHS + [
+    ("cycle-15", lambda: cycle(15)),
+    ("tree-33", lambda: random_tree(33, seed=11)),
+    ("single", lambda: path(1)),
+    ("pair", lambda: path(2)),
+    ("gnp-40-permuted", lambda: _permuted_gnp()),
+    ("gnp-40-poly", lambda: _poly_gnp()),
+]
+
+
+def _permuted_gnp():
+    from repro.util.idspace import permuted_ids
+
+    return gnp(40, 0.15, seed=5, ids=permuted_ids(40, seed=3))
+
+
+def _poly_gnp():
+    from repro.util.idspace import polynomial_ids
+
+    return gnp(40, 0.15, seed=5, ids=polynomial_ids(40, 2, seed=3))
+
+
+def all_problems():
+    from repro.olocal import PROBLEMS
+
+    return [(name, PROBLEMS.get(name)) for name in sorted(PROBLEMS)]
+
+
+def assert_results_identical(vec, ref):
+    assert vec.outputs == ref.outputs
+    assert vec.metrics.awake_rounds == ref.metrics.awake_rounds
+    assert vec.metrics.termination_round == ref.metrics.termination_round
+    assert vec.metrics.summary() == ref.metrics.summary()
+
+
+@pytest.mark.parametrize("gname,factory", VEC_GRAPHS)
+@pytest.mark.parametrize("pname,problem", all_problems())
+def test_vectorized_greedy_bit_identical(gname, factory, pname, problem):
+    from repro.model.vectorized import greedy_by_id_vectorized
+
+    g = factory()
+    inputs = problem.make_inputs(g)
+    vec = greedy_by_id_vectorized(g, problem, inputs=inputs)
+    ref = greedy_by_id_local(g, problem, inputs=inputs)
+    assert_results_identical(vec, ref)
+    problem.check(g, vec.outputs, inputs)
+
+
+@pytest.mark.parametrize("gname,factory", VEC_GRAPHS)
+@pytest.mark.parametrize("pname,problem", all_problems())
+def test_vectorized_baseline_bit_identical(gname, factory, pname, problem):
+    from repro.core.bm21 import solve_with_baseline
+    from repro.core.bm21_vectorized import solve_with_baseline_vectorized
+
+    g = factory()
+    vec = solve_with_baseline_vectorized(g, problem)
+    ref = solve_with_baseline(g, problem)
+    assert vec.palette == ref.palette
+    assert_results_identical(vec.simulation, ref.simulation)

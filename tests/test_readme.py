@@ -22,6 +22,25 @@ def test_readme_exists_with_python_quickstart():
     assert "run_scenario" in blocks[0]
 
 
+def test_readme_engine_matrix_in_sync():
+    """The README's algorithm × engine table must match the registry —
+    the same source of truth `repro solve --list` prints."""
+    from repro.core.algorithms import ALGORITHMS
+
+    text = README.read_text(encoding="utf-8")
+    rows = re.findall(r"^\| `(\w+)` +\| ((?:`[\w-]+` ?)+) *\|$", text, re.MULTILINE)
+    documented = {
+        name: tuple(e.strip("`") for e in engines.split())
+        for name, engines in rows
+    }
+    actual = {
+        name: ALGORITHMS.get(name).engines for name in ALGORITHMS.names()
+    }
+    assert documented == actual, (
+        "README engine matrix out of sync with `repro solve --list`"
+    )
+
+
 @pytest.mark.slow
 def test_readme_python_blocks_execute():
     """Run all blocks sequentially in one namespace, like a reader

@@ -69,8 +69,10 @@ class TestValidation:
             ({"ids": "weird"}, "unknown id scheme"),
             ({"n": 0}, "n must be >= 1"),
             ({"params": {"zap": 1}}, "unknown scenario param"),
-            ({"algorithm": "greedy", "engine": "simulator"},
+            ({"algorithm": "theorem1", "engine": "vectorized"},
              "does not support engine"),
+            ({"algorithm": "greedy", "engine": "warp"},
+             "unknown engine"),
         ],
     )
     def test_each_axis_is_validated(self, kwargs, fragment):
@@ -238,7 +240,9 @@ class TestCatalog:
         entry = ALGORITHMS.entry("theorem1")
         assert "b" in entry.params
         assert entry.value.trace_program is not None
-        assert ALGORITHMS.entry("greedy").value.engines == ("reference",)
+        assert ALGORITHMS.entry("greedy").value.engines == (
+            "reference", "simulator", "vectorized"
+        )
 
 
 class TestFaultAxis:
