@@ -435,6 +435,14 @@ def main(argv=None):
         metavar="PATH",
         help="fail if any shared speedup regressed more than 2x vs PATH",
     )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_history.jsonl"),
+        help="append a dated speedup row here (render with "
+        "`repro stats --bench`); --history '' disables",
+    )
     args = parser.parse_args(argv)
 
     sizes = (1024,) if args.quick else (1024, 4096)
@@ -476,6 +484,23 @@ def main(argv=None):
     if args.emit:
         Path(args.emit).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {args.emit}")
+
+    if args.history:
+        # One dated row per run — the committed BENCH_history.jsonl is the
+        # machine-readable speedup trajectory (`repro stats --bench`).
+        row = {
+            "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "mode": "quick" if args.quick else "full",
+            "cases": len(results),
+            "speedups": {
+                key: round(r["speedup"], 3)
+                for key, r in sorted(results.items())
+                if "speedup" in r
+            },
+        }
+        with open(args.history, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"\nappended history row to {args.history}")
 
     if args.check:
         committed = json.loads(Path(args.check).read_text())["results"]

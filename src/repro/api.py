@@ -46,6 +46,8 @@ from repro.graphs.families import (
     validate_id_scheme,
 )
 from repro.graphs.graph import StaticGraph
+from repro.obs import counters
+from repro.obs.spans import span
 from repro.olocal import PROBLEMS
 from repro.registry import UnknownNameError, load_plugins
 
@@ -238,34 +240,50 @@ def run_scenario(scenario: Scenario) -> RunResult:
     returned on the :class:`RunResult` (check ``result.ok``); genuine
     runtime failures — a solver bug, an invalid solution — still raise.
     """
-    errors = scenario.validate()
-    if errors:
-        return RunResult(scenario=scenario, errors=tuple(errors))
-    params = scenario.params_dict()
-    adapter_entry = ALGORITHMS.entry(scenario.algorithm)
-    family_entry = GRAPH_FAMILIES.entry(scenario.family)
-    family_params = {
-        k: v for k, v in params.items() if k in family_entry.params
-    }
-    algo_params = {
-        k: v for k, v in params.items() if k in adapter_entry.params
-    }
-    graph = build_family_graph(
-        scenario.family,
-        scenario.n,
-        seed=scenario.seed,
-        ids=scenario.ids,
-        **family_params,
-    )
-    engine = scenario.resolved_engine()
-    if engine == ENGINE_FAULTY:
-        algo_params["fault_plan"] = scenario.fault_plan()
-    outcome = adapter_entry.value.solve(
-        graph,
-        PROBLEMS.get(scenario.problem),
-        engine=engine,
-        **algo_params,
-    )
+    with span(
+        "scenario.run",
+        family=scenario.family,
+        n=scenario.n,
+        problem=scenario.problem,
+        algorithm=scenario.algorithm,
+    ):
+        with span("scenario.validate"):
+            errors = scenario.validate()
+        if errors:
+            return RunResult(scenario=scenario, errors=tuple(errors))
+        params = scenario.params_dict()
+        adapter_entry = ALGORITHMS.entry(scenario.algorithm)
+        family_entry = GRAPH_FAMILIES.entry(scenario.family)
+        family_params = {
+            k: v for k, v in params.items() if k in family_entry.params
+        }
+        algo_params = {
+            k: v for k, v in params.items() if k in adapter_entry.params
+        }
+        with span("scenario.build_graph", family=scenario.family, n=scenario.n):
+            graph = build_family_graph(
+                scenario.family,
+                scenario.n,
+                seed=scenario.seed,
+                ids=scenario.ids,
+                **family_params,
+            )
+        engine = scenario.resolved_engine()
+        if engine == ENGINE_FAULTY:
+            algo_params["fault_plan"] = scenario.fault_plan()
+        with span(
+            "scenario.solve", algorithm=scenario.algorithm, engine=engine
+        ):
+            outcome = adapter_entry.value.solve(
+                graph,
+                PROBLEMS.get(scenario.problem),
+                engine=engine,
+                **algo_params,
+            )
+        # Message counts are charged by the engine kernels themselves
+        # (simulator / vectorized), which also covers the pipelines'
+        # nested simulations; here only the scenario itself is counted.
+        counters.add("scenario.run")
     return RunResult(scenario=scenario, graph=graph, outcome=outcome)
 
 

@@ -110,12 +110,43 @@ def _print_engine_matrix() -> int:
     return 0
 
 
+def _start_trace(path: str) -> str:
+    """Arm the structured span emitter (see :mod:`repro.obs.spans`)."""
+    from repro.obs import configure
+
+    configure(path)
+    return path
+
+
+def _end_trace(path: str, profile: bool) -> None:
+    """Disarm tracing; with ``profile`` also render the span summary."""
+    from repro.obs import disable
+
+    disable()
+    print(f"wrote {path}", file=sys.stderr)
+    if profile:
+        from repro.obs.render import load_trace, render_trace
+
+        records, bad = load_trace(path)
+        print(render_trace(path, records, bad), file=sys.stderr)
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
     """``repro solve``: run any registered algorithm on a generated graph."""
-    from repro.errors import ReproError
-
     if args.list:
         return _print_engine_matrix()
+    if not args.profile:
+        return _run_solve(args)
+    path = _start_trace("RUN.trace.jsonl")
+    try:
+        return _run_solve(args)
+    finally:
+        _end_trace(path, profile=True)
+
+
+def _run_solve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
     scenario = _scenario_from_args(args)
     try:
         result = run_scenario(scenario)
@@ -198,14 +229,24 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """``repro report``: regenerate EXPERIMENTS.md via the sweep runner."""
+    import os
+
     from repro.analysis.report import report_journal, write_report
     from repro.runner import TrialCache
 
+    trace_file = None
+    if args.trace or args.profile:
+        out_dir = os.path.dirname(args.output) or "."
+        trace_file = _start_trace(os.path.join(out_dir, "REPORT.trace.jsonl"))
     cache = TrialCache(args.cache_dir) if args.cache else None
-    return write_report(
-        args.output, selected=args.only, workers=args.workers, cache=cache,
-        journal=report_journal(args),
-    )
+    try:
+        return write_report(
+            args.output, selected=args.only, workers=args.workers,
+            cache=cache, journal=report_journal(args),
+        )
+    finally:
+        if trace_file is not None:
+            _end_trace(trace_file, profile=args.profile)
 
 
 def _print_sweep_catalog() -> int:
@@ -258,15 +299,9 @@ def _sweep_journal(args, spec):
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``repro sweep``: run sharded experiment sweeps (see repro.runner)."""
-    from repro.runner import (
-        RetryPolicy,
-        SweepError,
-        TrialCache,
-        run_sweep,
-        sweep_from_experiments,
-        sweep_from_grid,
-        write_sweep_artifact,
-    )
+    import os
+
+    from repro.runner import sweep_from_experiments, sweep_from_grid
 
     if args.list:
         return _print_sweep_catalog()
@@ -294,25 +329,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             )
     except KeyError as exc:
         raise SystemExit(exc.args[0]) from exc
+    trace_file = None
+    if args.trace or args.profile:
+        trace_file = _start_trace(
+            os.path.join(args.output_dir, f"SWEEP_{spec.name}.trace.jsonl")
+        )
+    try:
+        return _run_sweep_command(args, spec)
+    finally:
+        if trace_file is not None:
+            _end_trace(trace_file, profile=args.profile)
+
+
+def _run_sweep_command(args: argparse.Namespace, spec) -> int:
+    from repro.obs import SweepProgress
+    from repro.runner import (
+        RetryPolicy,
+        SweepError,
+        TrialCache,
+        run_sweep,
+        write_sweep_artifact,
+    )
+
     print(
         f"sweep {spec.name!r}: {len(spec.trials)} trials, "
         f"{args.workers} worker(s)",
         file=sys.stderr,
     )
-
-    def progress(outcome):
-        if outcome.resumed:
-            note = "resumed from journal"
-        elif outcome.cached:
-            note = f"cache hit, {outcome.seconds:.2f}s saved"
-        else:
-            note = f"{outcome.seconds:.2f}s, pid {outcome.worker}"
-        print(
-            f"  [{outcome.spec.index + 1}/{len(spec.trials)}] "
-            f"{outcome.spec.label} ({note})",
-            file=sys.stderr,
-        )
-
+    progress = SweepProgress(
+        len(spec.trials), workers=args.workers, verbose=args.verbose
+    )
     cache = TrialCache(args.cache_dir) if args.cache else None
     retry = None
     if args.retries > 0:
@@ -336,8 +382,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             journal=_sweep_journal(args, spec),
         )
     except SweepError as exc:
+        progress.finish()
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
+    progress.finish()
     if result.failures:
         print(result.failure_report.render(), file=sys.stderr)
         if not args.allow_partial:
@@ -363,6 +411,47 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if not args.no_artifact:
         artifact = write_sweep_artifact(result, args.output_dir)
         print(f"wrote {artifact}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: render (or just validate) a .trace.jsonl file."""
+    from repro.obs.render import check_trace, load_trace, render_trace
+
+    records, bad = load_trace(args.file)
+    problems = check_trace(records, bad)
+    if not args.check:
+        print(render_trace(args.file, records, bad, limit=args.limit))
+    if problems:
+        for problem in problems:
+            print(f"trace problem: {problem}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"{args.file}: {len(records)} record(s), spans balance")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: summarize sweep artifacts and the bench history."""
+    import json
+
+    from repro.obs.render import render_bench_history, render_stats
+
+    shown = 0
+    if args.bench:
+        print(render_bench_history(args.bench_history))
+        shown += 1
+    for path in args.files:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if shown:
+            print()
+        print(render_stats(path, payload))
+        shown += 1
+    if not shown:
+        raise SystemExit(
+            "repro stats: pass SWEEP_*.json artifacts and/or --bench"
+        )
     return 0
 
 
@@ -430,6 +519,12 @@ def make_parser() -> argparse.ArgumentParser:
     solve_p.add_argument("--trace", action="store_true",
                          help="print awake timelines")
     solve_p.add_argument("--trace-nodes", type=int, default=12)
+    solve_p.add_argument(
+        "--profile", action="store_true",
+        help="write structured spans to RUN.trace.jsonl and print a span "
+        "summary (`repro trace` re-renders it; distinct from --trace, "
+        "the per-node awake timeline)",
+    )
     solve_p.set_defaults(func=cmd_solve)
 
     cluster_p = sub.add_parser(
@@ -562,7 +657,61 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-journal", action="store_true",
         help="do not write SWEEP_<name>.journal next to the artifact",
     )
+    obs = sweep_p.add_argument_group(
+        "observability",
+        "structured spans + consolidated progress (docs/OBSERVABILITY.md)",
+    )
+    obs.add_argument(
+        "--trace", action="store_true",
+        help="write SWEEP_<name>.trace.jsonl spans next to the artifact; "
+        "tables, cache keys and journals are byte-identical either way",
+    )
+    obs.add_argument(
+        "--profile", action="store_true",
+        help="--trace plus a rendered span summary on stderr afterwards",
+    )
+    obs.add_argument(
+        "--verbose", action="store_true",
+        help="one progress line per trial instead of the consolidated "
+        "done/total + hit-rate + ETA line",
+    )
     sweep_p.set_defaults(func=cmd_sweep)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="render a structured .trace.jsonl (written by --trace/--profile)",
+    )
+    trace_p.add_argument(
+        "file", help="a SWEEP_*.trace.jsonl / RUN.trace.jsonl path"
+    )
+    trace_p.add_argument(
+        "--limit", type=int, default=12,
+        help="rows in the slowest-spans table",
+    )
+    trace_p.add_argument(
+        "--check", action="store_true",
+        help="validate only (every line parses, spans balance); exit 1 "
+        "with the problems listed otherwise",
+    )
+    trace_p.set_defaults(func=cmd_trace)
+
+    stats_p = sub.add_parser(
+        "stats",
+        help="throughput / cache-economics / retry stats from SWEEP_*.json",
+    )
+    stats_p.add_argument(
+        "files", nargs="*", metavar="SWEEP_JSON",
+        help="sweep artifacts written by `repro sweep`",
+    )
+    stats_p.add_argument(
+        "--bench", action="store_true",
+        help="also render the committed engine-benchmark trajectory",
+    )
+    stats_p.add_argument(
+        "--bench-history", default="BENCH_history.jsonl",
+        help="bench history file (appended by benchmarks/bench_engine.py)",
+    )
+    stats_p.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.graphs.graph import StaticGraph
+from repro.obs.spans import span
 from repro.olocal.problem import OLocalProblem
 from repro.registry import Registry, RegistryError, UnknownNameError
 from repro.types import NodeId
@@ -417,7 +418,8 @@ def _run_theorem9(
     from repro.core.theorem13 import compute_clustering
 
     faults = _FaultInjector(engine, fault_plan)
-    clustering = compute_clustering(graph, b=b)
+    with span("theorem9.clustering", n=graph.n):
+        clustering = compute_clustering(graph, b=b)
     with faults.guarding():
         result = solve_with_clustering(
             graph, problem, clustering.clustering, simulator=faults.factory

@@ -46,6 +46,8 @@ from repro.graphs.graph import StaticGraph
 from repro.model.metrics import SimulationMetrics
 from repro.model.simulator import SimulationResult
 from repro.model.vectorized import make_wave_decider
+from repro.obs import counters
+from repro.obs.spans import span
 from repro.olocal.problem import OLocalProblem
 from repro.types import NodeId
 
@@ -130,50 +132,56 @@ def solve_with_baseline_vectorized(
     schedule = reduction_schedule(graph.id_space, delta)
     steps = len(schedule)
     colors = ga.ids - 1  # IDs are a proper coloring with palette id_space
-    for d, q in schedule:
-        colors = _linial_step_vectorized(graph, colors, d, q)
+    with span("bm21.linial", n=ga.n, steps=steps):
+        for d, q in schedule:
+            colors = _linial_step_vectorized(graph, colors, d, q)
     colors = colors + 1  # the Lemma 11 calendar is 1-based
 
     # Decide color classes in increasing color order — each class is an
     # independent set whose decided neighbors are exactly the
     # lower-colored ones, matching the simulator's φ-ordered decisions.
-    decider = make_wave_decider(graph, problem, node_inputs)
-    order = np.argsort(colors, kind="stable")
-    sorted_colors = colors[order]
-    bounds = np.flatnonzero(np.diff(sorted_colors)) + 1
-    starts = np.concatenate(([0], bounds))
-    ends = np.concatenate((bounds, [ga.n]))
-    for lo, hi in zip(starts.tolist(), ends.tolist()):
-        decider.decide_wave(order[lo:hi])
-    outputs = decider.outputs()
-    if check:
-        problem.check(graph, outputs, node_inputs)
+    with span("bm21.calendar", n=ga.n, palette=palette):
+        decider = make_wave_decider(graph, problem, node_inputs)
+        order = np.argsort(colors, kind="stable")
+        sorted_colors = colors[order]
+        bounds = np.flatnonzero(np.diff(sorted_colors)) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [ga.n]))
+        for lo, hi in zip(starts.tolist(), ends.tolist()):
+            decider.decide_wave(order[lo:hi])
+        outputs = decider.outputs()
+        if check:
+            problem.check(graph, outputs, node_inputs)
 
     # Closed-form accounting, one mapping evaluation per distinct color.
-    mapping = ColorScheduleMapping.for_palette(palette)
-    present = sorted_colors[starts].tolist()
-    awake_by_color, term_by_color, sends_by_color = [], [], []
-    phase2_rounds: set[int] = set()
-    for c in present:
-        r = mapping.r(c)
-        phi = mapping.phi(c)
-        awake_by_color.append(steps + len(r))
-        term_by_color.append(steps + r[-1])
-        sends_by_color.append(1 + sum(1 for x in r if x > phi))
-        phase2_rounds.update(r)
-    lookup = np.searchsorted(np.asarray(present, dtype=np.int64), colors)
-    awake = np.asarray(awake_by_color, dtype=np.int64)[lookup]
-    term = np.asarray(term_by_color, dtype=np.int64)[lookup]
-    sends = np.asarray(sends_by_color, dtype=np.int64)[lookup]
+    with span("bm21.accounting", n=ga.n):
+        mapping = ColorScheduleMapping.for_palette(palette)
+        present = sorted_colors[starts].tolist()
+        awake_by_color, term_by_color, sends_by_color = [], [], []
+        phase2_rounds: set[int] = set()
+        for c in present:
+            r = mapping.r(c)
+            phi = mapping.phi(c)
+            awake_by_color.append(steps + len(r))
+            term_by_color.append(steps + r[-1])
+            sends_by_color.append(1 + sum(1 for x in r if x > phi))
+            phase2_rounds.update(r)
+        lookup = np.searchsorted(np.asarray(present, dtype=np.int64), colors)
+        awake = np.asarray(awake_by_color, dtype=np.int64)[lookup]
+        term = np.asarray(term_by_color, dtype=np.int64)[lookup]
+        sends = np.asarray(sends_by_color, dtype=np.int64)[lookup]
 
-    ids = ga.ids.tolist()
-    metrics.awake_rounds = dict(zip(ids, awake.tolist()))
-    metrics.termination_round = dict(zip(ids, term.tolist()))
-    metrics.messages_sent = steps * 2 * graph.num_edges + int(
-        sends @ ga.degrees
-    )
-    metrics.active_rounds = steps + len(phase2_rounds)
-    metrics.last_round = steps + max(max(mapping.r(c)) for c in present)
+        ids = ga.ids.tolist()
+        metrics.awake_rounds = dict(zip(ids, awake.tolist()))
+        metrics.termination_round = dict(zip(ids, term.tolist()))
+        metrics.messages_sent = steps * 2 * graph.num_edges + int(
+            sends @ ga.degrees
+        )
+        metrics.active_rounds = steps + len(phase2_rounds)
+        metrics.last_round = steps + max(max(mapping.r(c)) for c in present)
+    counters.add("sim.run")
+    counters.add("sim.messages", metrics.messages_sent)
+    counters.add("sim.rounds", metrics.active_rounds)
     simulation = SimulationResult(outputs=outputs, metrics=metrics, graph=graph)
     return BaselineResult(
         outputs=outputs, simulation=simulation, palette=palette

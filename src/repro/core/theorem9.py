@@ -30,6 +30,7 @@ from repro.graphs.graph import StaticGraph
 from repro.model.actions import AwakeAt
 from repro.model.api import NodeInfo
 from repro.model.simulator import SimulationResult, SleepingSimulator
+from repro.obs.spans import span
 from repro.olocal.problem import NodeView, OLocalProblem
 from repro.types import ClusterLabel, NodeId, Payload
 
@@ -224,9 +225,22 @@ def solve_with_clustering(
         return out
 
     make_simulator = simulator if simulator is not None else SleepingSimulator
-    result = make_simulator(graph, program, inputs=node_inputs).run()
-    if validate:
-        problem.check(graph, result.outputs, node_inputs)
+    with span("theorem9.solve", n=graph.n, palette=c) as sp:
+        # The solving stage is one composed simulation; its cast
+        # (cluster rooting) and calendar (simulated Lemma 11 over
+        # cluster colors) sub-windows are fixed by the protocol, so
+        # their round boundaries are recorded as one event rather than
+        # per-node spans (which would perturb the hot loop).
+        cast_end = 1 + bfs_cast_duration(graph.n)
+        sp.event(
+            "theorem9.windows",
+            cast_rounds=(1, cast_end),
+            calendar_rounds=(cast_end + 1, theorem9_duration(graph.n, c)),
+        )
+        result = make_simulator(graph, program, inputs=node_inputs).run()
+    with span("theorem9.validate", n=graph.n):
+        if validate:
+            problem.check(graph, result.outputs, node_inputs)
     return Theorem9Result(outputs=result.outputs, simulation=result, palette=c)
 
 

@@ -56,6 +56,11 @@ from repro.graphs.graph import StaticGraph
 from repro.model.actions import AwakeAt, Broadcast
 from repro.model.api import NodeInfo
 from repro.model.metrics import SimulationMetrics, payload_weight
+from repro.obs import counters as obs_counters
+from repro.obs.spans import enabled as obs_enabled
+from repro.obs.spans import event as obs_event
+from repro.obs.spans import sample_stride as obs_sample_stride
+from repro.obs.spans import span as obs_span
 from repro.types import NodeId, Payload
 
 #: A node program: takes the node's static info, yields AwakeAt actions,
@@ -98,6 +103,21 @@ class SleepingSimulator:
         self._measure_sizes = measure_message_sizes
 
     def run(self) -> SimulationResult:
+        """Drive every node to termination; one span per simulation and
+        (with tracing armed) one sampled ``simulator.round`` event per
+        :func:`~repro.obs.spans.sample_stride` active rounds. The
+        disabled path costs one bool check per round."""
+        with obs_span(
+            "simulator.run", n=self._graph.n, edges=self._graph.num_edges
+        ):
+            result = self._run()
+        metrics = result.metrics
+        obs_counters.add("sim.run")
+        obs_counters.add("sim.messages", metrics.messages_sent)
+        obs_counters.add("sim.rounds", metrics.active_rounds)
+        return result
+
+    def _run(self) -> SimulationResult:
         graph = self._graph
         metrics = SimulationMetrics()
         outputs: dict[NodeId, Any] = {}
@@ -145,6 +165,9 @@ class SleepingSimulator:
         nbr_sets: dict[NodeId, frozenset[NodeId]] = {}
         plist: list[Payload | None] | None = None
         carry: list[tuple[NodeId, AwakeAt]] | None = None
+        #: 0 when tracing is off: the sampling branch below reduces to
+        #: one falsy check per round (the zero-overhead contract).
+        trace_stride = obs_sample_stride() if obs_enabled() else 0
 
         while rounds_heap or carry is not None:
             if carry is not None:
@@ -156,6 +179,14 @@ class SleepingSimulator:
                 awake = buckets.pop(current_round)
                 awake.sort()
             active_rounds += 1
+            if trace_stride and active_rounds % trace_stride == 0:
+                obs_event(
+                    "simulator.round",
+                    round=current_round,
+                    awake=len(awake),
+                    live=len(generators),
+                    messages=messages_sent,
+                )
 
             # Phase 1: deliver messages between co-awake neighbors.
             inboxes.clear()

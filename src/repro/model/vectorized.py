@@ -54,6 +54,8 @@ from repro.graphs.arrays import ragged_gather, require_numpy, segment_any
 from repro.graphs.graph import StaticGraph
 from repro.model.metrics import SimulationMetrics
 from repro.model.simulator import SimulationResult
+from repro.obs import counters
+from repro.obs.spans import span
 from repro.olocal.problem import OLocalProblem
 from repro.types import NodeId
 
@@ -286,33 +288,40 @@ def greedy_by_id_vectorized(
 
     ready = np.flatnonzero(remaining == 0)
     wave = 0
-    while ready.size:
-        wave += 1
-        decider.decide_wave(ready)
-        decide_round[ready] = wave
-        # Release the larger neighbors; those hitting zero form the next
-        # wave. Work is proportional to the wave's out-edges, so the
-        # whole loop is O(E) regardless of the wave count.
-        targets, _ = ragged_gather(up_offsets, up_flat, ready)
-        np.subtract.at(remaining, targets, 1)
-        candidates = np.unique(targets)
-        ready = candidates[remaining[candidates] == 0]
+    with span("vectorized.waves", n=ga.n):
+        while ready.size:
+            wave += 1
+            decider.decide_wave(ready)
+            decide_round[ready] = wave
+            # Release the larger neighbors; those hitting zero form the
+            # next wave. Work is proportional to the wave's out-edges,
+            # so the whole loop is O(E) regardless of the wave count.
+            targets, _ = ragged_gather(up_offsets, up_flat, ready)
+            np.subtract.at(remaining, targets, 1)
+            candidates = np.unique(targets)
+            ready = candidates[remaining[candidates] == 0]
 
-    # F(v) = 1 + max(D(v), max over larger neighbors w of D(w)).
-    finish = decide_round.copy()
-    if up_flat.size:
-        up_counts = up_offsets[1:] - up_offsets[:-1]
-        up_sources = np.repeat(np.arange(ga.n, dtype=np.int64), up_counts)
-        np.maximum.at(finish, up_sources, decide_round[up_flat])
-    finish += 1
+    with span("vectorized.accounting", n=ga.n, waves=wave):
+        # F(v) = 1 + max(D(v), max over larger neighbors w of D(w)).
+        finish = decide_round.copy()
+        if up_flat.size:
+            up_counts = up_offsets[1:] - up_offsets[:-1]
+            up_sources = np.repeat(
+                np.arange(ga.n, dtype=np.int64), up_counts
+            )
+            np.maximum.at(finish, up_sources, decide_round[up_flat])
+        finish += 1
 
-    ids = ga.ids.tolist()
-    finish_list = finish.tolist()
-    metrics.awake_rounds = dict(zip(ids, finish_list))
-    metrics.termination_round = dict(zip(ids, finish_list))
-    metrics.messages_sent = int(ga.degrees @ finish)
-    metrics.last_round = int(finish.max())
-    metrics.active_rounds = metrics.last_round
+        ids = ga.ids.tolist()
+        finish_list = finish.tolist()
+        metrics.awake_rounds = dict(zip(ids, finish_list))
+        metrics.termination_round = dict(zip(ids, finish_list))
+        metrics.messages_sent = int(ga.degrees @ finish)
+        metrics.last_round = int(finish.max())
+        metrics.active_rounds = metrics.last_round
+    counters.add("sim.run")
+    counters.add("sim.messages", metrics.messages_sent)
+    counters.add("sim.rounds", metrics.active_rounds)
     return SimulationResult(
         outputs=decider.outputs(), metrics=metrics, graph=graph
     )

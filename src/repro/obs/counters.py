@@ -1,0 +1,102 @@
+"""Process-wide metric counters, merged across sweep workers.
+
+Counters are plain dict increments — cheap enough to stay on
+unconditionally (unlike spans they never touch the filesystem), so the
+taxonomy they feed (``SweepResult.observability``, the artifact
+``observability`` block, ``repro stats``) is populated whether or not
+tracing is armed.
+
+Aggregation model: the executor snapshots the process counters around
+each trial (:func:`snapshot` / :func:`delta`) and ships the delta back
+on the ``TrialOutcome`` — worker increments cross the process boundary
+as data, not shared state — then the parent folds worker deltas into
+its own counters (:func:`merge`). Failed attempts ship nothing; their
+retries are counted parent-side where the retry decision is made.
+
+Naming convention: dotted ``layer.metric`` lowercase names, e.g.
+``cache.hit``, ``trial.run``, ``sim.messages``. Peak RSS is not a
+counter (maxima don't sum) — it rides separately via
+:func:`peak_rss_kib`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class CounterSet:
+    """A named bag of monotonically increasing numbers."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1) -> None:
+        data = self._data
+        data[name] = data.get(name, 0) + value
+
+    def get(self, name: str) -> float:
+        return self._data.get(name, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._data)
+
+    def reset(self) -> None:
+        self._data.clear()
+
+
+#: The process-wide counter set every layer increments into.
+COUNTERS = CounterSet()
+
+
+def add(name: str, value: float = 1) -> None:
+    """Increment a process-wide counter."""
+    COUNTERS.add(name, value)
+
+
+def snapshot() -> dict[str, float]:
+    """A copy of the current process-wide counter values."""
+    return COUNTERS.snapshot()
+
+
+def delta(
+    before: dict[str, float], after: dict[str, float]
+) -> dict[str, float]:
+    """The nonzero increments between two snapshots."""
+    return {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value != before.get(name, 0)
+    }
+
+
+def merge(into: dict[str, float], other: dict[str, float]) -> None:
+    """Fold ``other``'s counts into ``into`` (in place)."""
+    for name, value in other.items():
+        into[name] = into.get(name, 0) + value
+
+
+def peak_rss_kib() -> int:
+    """This process's peak resident set size in KiB (0 where the
+    ``resource`` module is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        rss //= 1024
+    return int(rss)
+
+
+def normalized(counters: dict[str, float]) -> dict[str, Any]:
+    """Counters as JSON-friendly numbers (ints where exact), sorted."""
+    out: dict[str, Any] = {}
+    for name in sorted(counters):
+        value = counters[name]
+        out[name] = int(value) if float(value).is_integer() else value
+    return out

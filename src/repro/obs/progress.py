@@ -1,0 +1,104 @@
+"""The sweep's consolidated progress line.
+
+One line, updated in place on a tty (redrawn with ``\\r``) and printed
+at coarse milestones otherwise, replacing the old per-trial chatter:
+``done/total``, the cache hit-rate so far, and an ETA from the rolling
+mean duration of *executed* trials divided across the workers. Verbose
+mode (``--verbose``) restores the per-trial lines for debugging.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, TextIO
+
+
+class SweepProgress:
+    """A progress callback for :func:`repro.runner.executor.run_sweep`."""
+
+    def __init__(
+        self,
+        total: int,
+        workers: int = 1,
+        stream: TextIO | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.total = total
+        self.workers = max(1, workers)
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+        self.done = 0
+        self.hits = 0
+        self.resumed = 0
+        self.executed = 0
+        self.exec_seconds = 0.0
+        self._start = time.monotonic()
+        self._dirty = False
+        try:
+            self._tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            self._tty = False
+        # Non-tty (logs, CI): print at ~decile milestones, not per trial.
+        self._milestone = max(1, total // 10)
+
+    def __call__(self, outcome: Any) -> None:
+        self.done += 1
+        if outcome.resumed:
+            self.resumed += 1
+        elif outcome.cached:
+            self.hits += 1
+        else:
+            self.executed += 1
+            self.exec_seconds += outcome.seconds
+        if self.verbose:
+            self._per_trial(outcome)
+            return
+        if self._tty:
+            self._redraw()
+        elif self.done == self.total or self.done % self._milestone == 0:
+            print(self._line(), file=self.stream)
+
+    def _per_trial(self, outcome: Any) -> None:
+        if outcome.resumed:
+            note = "resumed from journal"
+        elif outcome.cached:
+            note = f"cache hit, {outcome.seconds:.2f}s saved"
+        else:
+            note = f"{outcome.seconds:.2f}s, pid {outcome.worker}"
+        print(
+            f"  [{outcome.spec.index + 1}/{self.total}] "
+            f"{outcome.spec.label} ({note})",
+            file=self.stream,
+        )
+
+    def _line(self) -> str:
+        seen = self.hits + self.resumed + self.executed
+        rate = self.hits / seen if seen else 0.0
+        line = (
+            f"  {self.done}/{self.total} trials | "
+            f"{self.hits} cache hit(s) ({rate:.0%})"
+        )
+        if self.resumed:
+            line += f" | {self.resumed} resumed from journal"
+        remaining = self.total - self.done
+        if remaining and self.executed:
+            mean = self.exec_seconds / self.executed
+            eta = mean * remaining / self.workers
+            line += f" | eta ~{eta:.0f}s"
+        return line
+
+    def _redraw(self) -> None:
+        print(f"\r\x1b[K{self._line()}", end="", file=self.stream)
+        self._dirty = True
+
+    def finish(self) -> None:
+        """Terminate an in-place line; print the final state once."""
+        if self.verbose:
+            return
+        if self._tty:
+            if self._dirty:
+                print(file=self.stream)
+        elif self.done and self.done < self.total:
+            # Aborted early — the done == total print never happened.
+            print(self._line(), file=self.stream)

@@ -9,7 +9,12 @@ The artifact has two layers:
 - a **provenance** layer — per-trial wall times, worker pids, cache
   hit/miss accounting, pool restarts, the worker count and total wall
   clock, which is expected to vary run to run and is kept in separate
-  keys (``timing``, ``failures``).
+  keys (``timing``, ``failures``, ``observability``).
+
+The ``observability`` block (merged counters, per-worker aggregates,
+retry taxonomy, peak RSS — see :mod:`repro.obs`) is provenance by
+construction: pids and RSS vary run to run, so it lives outside
+:func:`deterministic_view` exactly like ``timing``.
 
 A sweep run with ``keep_going`` may complete with failures; its
 artifact then aggregates the completed trials (partial, explicitly
@@ -52,6 +57,7 @@ def sweep_artifact_payload(result: SweepResult) -> dict[str, Any]:
         "tables": tables,
         "partial": bool(result.failures),
         "failures": result.failure_report.describe(),
+        "observability": result.observability,
         "timing": {
             "workers": result.workers,
             "wall_seconds": result.wall_seconds,

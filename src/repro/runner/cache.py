@@ -41,6 +41,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any
 
+from repro.obs import counters
+from repro.obs.spans import event
 from repro.runner.specs import TrialSpec
 
 #: Default cache directory, relative to the working directory (see
@@ -159,7 +161,21 @@ class TrialCache:
         return self.cache_dir / key[:2] / f"{key}.pkl"
 
     def load(self, spec: TrialSpec) -> CachedTrial | None:
-        """The stored result for this trial identity, or None (miss)."""
+        """The stored result for this trial identity, or None (miss).
+
+        Emits ``cache.hit`` / ``cache.miss`` into the observability
+        stream (counter always, trace event when tracing is armed).
+        """
+        found = self._load(spec)
+        if found is not None:
+            counters.add("cache.hit")
+            event("cache.hit", label=spec.label, seconds=found.seconds)
+        else:
+            counters.add("cache.miss")
+            event("cache.miss", label=spec.label)
+        return found
+
+    def _load(self, spec: TrialSpec) -> CachedTrial | None:
         key = self.key(spec)
         if key is None:
             return None
@@ -211,6 +227,7 @@ class TrialCache:
         except Exception:
             self._discard(scratch)
             return False
+        counters.add("cache.store")
         return True
 
     @staticmethod

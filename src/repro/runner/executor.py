@@ -58,10 +58,12 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.analysis.experiments import ExperimentResult
+from repro.obs import counters as obs_counters
+from repro.obs.spans import event, span
 from repro.runner.cache import CacheStats, TrialCache
 from repro.runner.chaos import maybe_inject
 from repro.runner.resilience import (
@@ -90,6 +92,12 @@ class TrialOutcome:
     ``cached`` marks a cache hit and ``resumed`` a journal prefill; in
     both cases ``seconds`` is the *original* compute time (what the
     hit saved) and ``worker`` is 0.
+
+    ``obs`` is the executing process's observability sidecar (counter
+    deltas, peak RSS) shipped back for parent-side aggregation. It is
+    execution metadata like ``seconds``/``worker``: never part of the
+    payload, so cache entries and journal records are byte-for-byte
+    unaffected by its presence.
     """
 
     spec: TrialSpec
@@ -98,6 +106,7 @@ class TrialOutcome:
     worker: int
     cached: bool = False
     resumed: bool = False
+    obs: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +125,10 @@ class SweepResult:
     cache_stats: CacheStats | None = None
     failures: tuple[TrialFailure, ...] = ()
     pool_restarts: int = 0
+    #: Merged counters, per-worker aggregates, and the retry taxonomy
+    #: (see :mod:`repro.obs`). Provenance, like ``wall_seconds`` — kept
+    #: out of the deterministic artifact layer.
+    observability: dict[str, Any] = field(default_factory=dict)
 
     def payloads(self) -> list[Any]:
         return [outcome.payload for outcome in self.outcomes]
@@ -144,10 +157,31 @@ class SweepResult:
         trials = tuple(outcome.spec for outcome in self.outcomes)
         return aggregate_sweep(trials, self.payloads())
 
+    def resilience_summary(self) -> str | None:
+        """One line of retry/timeout taxonomy, or ``None`` for a sweep
+        that never needed the resilience layer."""
+        retries = self.observability.get("retries") or {}
+        retried = int(retries.get("trials_retried", 0))
+        deaths = int(retries.get("worker_deaths", self.pool_restarts))
+        if not retried and not deaths:
+            return None
+        return (
+            f"{retried} trial(s) retried "
+            f"({int(retries.get('timeouts', 0))} timeout(s), "
+            f"{deaths} worker death(s))"
+        )
+
     def render(self, allow_partial: bool = False) -> str:
-        return "\n\n".join(
+        """The aggregated tables; a sweep that survived via retries or
+        pool restarts says so in a one-line footer (a clean sweep's
+        render stays byte-identical to the pre-observability format)."""
+        text = "\n\n".join(
             r.render() for r in self.experiments(allow_partial).values()
         )
+        note = self.resilience_summary()
+        if note is not None:
+            text += f"\n\nresilience: {note}"
+        return text
 
 
 def _run_one(spec: TrialSpec, timeout: float | None = None) -> TrialOutcome:
@@ -156,15 +190,22 @@ def _run_one(spec: TrialSpec, timeout: float | None = None) -> TrialOutcome:
     Armed chaos fires here — inside the deadline, so an injected hang
     exercises the timeout exactly like a real straggler would.
     """
+    before = obs_counters.snapshot()
+    obs_counters.add("trial.run")
     start = time.perf_counter()
-    with trial_deadline(spec, timeout):
-        maybe_inject(spec)
-        payload = execute_trial(spec)
+    with span("trial.run", label=spec.label, index=spec.index, kind=spec.kind):
+        with trial_deadline(spec, timeout):
+            maybe_inject(spec)
+            payload = execute_trial(spec)
     return TrialOutcome(
         spec=spec,
         payload=payload,
         seconds=time.perf_counter() - start,
         worker=os.getpid(),
+        obs={
+            "counters": obs_counters.delta(before, obs_counters.snapshot()),
+            "peak_rss_kib": obs_counters.peak_rss_kib(),
+        },
     )
 
 
@@ -220,38 +261,48 @@ def run_sweep(
             off), or hard worker deaths exhausted ``max_pool_restarts``.
     """
     start = time.perf_counter()
+    parent_before = obs_counters.snapshot()
     policy = retry if retry is not None else RetryPolicy()
-    prefilled: dict[int, TrialOutcome] = {}
-    if journal is not None:
-        prefilled.update(journal.load_outcomes(spec.trials))
-        journal.begin(spec.name, len(spec.trials))
-    cache_hits = 0
-    if cache is not None:
-        for trial in spec.trials:
-            if trial.index in prefilled:
-                continue
-            found = cache.load(trial)
-            if found is not None:
-                cache_hits += 1
-                prefilled[trial.index] = TrialOutcome(
-                    spec=trial,
-                    payload=found.payload,
-                    seconds=found.seconds,
-                    worker=0,
-                    cached=True,
-                )
+    retry_stats: dict[str, Any] = {
+        "retried": set(), "attempts": 0, "timeouts": 0,
+    }
     failures: list[TrialFailure] = []
     pool_restarts = 0
-    if workers <= 1:
-        outcomes = _run_serial(
-            spec, progress, prefilled, cache, policy, timeout, keep_going,
-            journal, failures,
-        )
-    else:
-        outcomes, pool_restarts = _run_pool(
-            spec, workers, progress, prefilled, cache, policy, timeout,
-            max_pool_restarts, keep_going, journal, failures,
-        )
+    with span(
+        "sweep", sweep=spec.name, trials=len(spec.trials),
+        workers=max(1, workers),
+    ):
+        prefilled: dict[int, TrialOutcome] = {}
+        if journal is not None:
+            prefilled.update(journal.load_outcomes(spec.trials))
+            journal.begin(spec.name, len(spec.trials))
+        cache_hits = 0
+        if cache is not None:
+            with span("sweep.cache_scan", trials=len(spec.trials)):
+                for trial in spec.trials:
+                    if trial.index in prefilled:
+                        continue
+                    found = cache.load(trial)
+                    if found is not None:
+                        cache_hits += 1
+                        prefilled[trial.index] = TrialOutcome(
+                            spec=trial,
+                            payload=found.payload,
+                            seconds=found.seconds,
+                            worker=0,
+                            cached=True,
+                        )
+        if workers <= 1:
+            outcomes = _run_serial(
+                spec, progress, prefilled, cache, policy, timeout,
+                keep_going, journal, failures, retry_stats,
+            )
+        else:
+            outcomes, pool_restarts = _run_pool(
+                spec, workers, progress, prefilled, cache, policy, timeout,
+                max_pool_restarts, keep_going, journal, failures,
+                retry_stats,
+            )
     stats = None
     if cache is not None:
         saved = sum(o.seconds for o in prefilled.values() if o.cached)
@@ -269,7 +320,98 @@ def run_sweep(
         cache_stats=stats,
         failures=tuple(failures),
         pool_restarts=pool_restarts,
+        observability=_assemble_observability(
+            parent_before, outcomes, retry_stats, pool_restarts
+        ),
     )
+
+
+def _assemble_observability(
+    parent_before: dict[str, float],
+    outcomes: list[TrialOutcome],
+    retry_stats: dict[str, Any],
+    pool_restarts: int,
+) -> dict[str, Any]:
+    """Merge parent-side counters with the workers' shipped deltas.
+
+    Serial trials ran in this process (their increments are already in
+    the parent's delta); pool trials shipped theirs on ``outcome.obs``
+    — the pid guard keeps the two paths from double-counting.
+    """
+    parent_pid = os.getpid()
+    merged = obs_counters.delta(parent_before, obs_counters.snapshot())
+    workers_agg: dict[int, dict[str, Any]] = {}
+    for outcome in outcomes:
+        if outcome.cached or outcome.resumed:
+            continue
+        if outcome.obs is not None and outcome.worker != parent_pid:
+            obs_counters.merge(merged, outcome.obs.get("counters", {}))
+        agg = workers_agg.setdefault(
+            outcome.worker,
+            {"trials": 0, "seconds": 0.0, "peak_rss_kib": 0},
+        )
+        agg["trials"] += 1
+        agg["seconds"] += outcome.seconds
+        if outcome.obs is not None:
+            agg["peak_rss_kib"] = max(
+                agg["peak_rss_kib"], outcome.obs.get("peak_rss_kib", 0)
+            )
+    peak = max(
+        [obs_counters.peak_rss_kib()]
+        + [agg["peak_rss_kib"] for agg in workers_agg.values()]
+    )
+    return {
+        "counters": obs_counters.normalized(merged),
+        "workers": {
+            str(pid): {
+                "trials": agg["trials"],
+                "seconds": agg["seconds"],
+                "peak_rss_kib": agg["peak_rss_kib"],
+            }
+            for pid, agg in sorted(workers_agg.items())
+        },
+        "retries": {
+            "trials_retried": len(retry_stats["retried"]),
+            "attempts": retry_stats["attempts"],
+            "timeouts": retry_stats["timeouts"],
+            "worker_deaths": pool_restarts,
+        },
+        "peak_rss_kib": peak,
+    }
+
+
+def _observe_trial_error(
+    retry_stats: dict[str, Any],
+    trial: TrialSpec,
+    exc: BaseException,
+    attempt: int,
+    will_retry: bool,
+) -> None:
+    """Count a failed attempt into the retry taxonomy (parent-side —
+    a failed attempt ships no counter delta back from its worker)."""
+    from repro.runner.resilience import TrialTimeoutError
+
+    if isinstance(exc, TrialTimeoutError):
+        retry_stats["timeouts"] += 1
+        obs_counters.add("trial.timeout")
+    if will_retry:
+        retry_stats["retried"].add(trial.index)
+        retry_stats["attempts"] += 1
+        obs_counters.add("trial.retry")
+        event(
+            "trial.retry",
+            label=trial.label,
+            attempt=attempt,
+            error=type(exc).__name__,
+        )
+    else:
+        obs_counters.add("trial.failed")
+        event(
+            "trial.failed",
+            label=trial.label,
+            attempts=attempt,
+            error=type(exc).__name__,
+        )
 
 
 def _record(
@@ -283,6 +425,35 @@ def _record(
         cache.store(outcome.spec, outcome.payload, outcome.seconds)
     if journal is not None:
         journal.append(outcome)
+    _trial_result_event(outcome)
+    if progress is not None:
+        progress(outcome)
+
+
+def _trial_result_event(outcome: TrialOutcome) -> None:
+    """One ``trial.result`` event per outcome — executed, cached, or
+    resumed — so a trace reconciles 1:1 with the artifact's trial list."""
+    event(
+        "trial.result",
+        label=outcome.spec.label,
+        index=outcome.spec.index,
+        cached=outcome.cached,
+        resumed=outcome.resumed,
+        seconds=outcome.seconds,
+        worker=outcome.worker,
+    )
+
+
+def _replay_prefilled(
+    outcome: TrialOutcome,
+    journal: SweepJournal | None,
+    progress: Callable[[TrialOutcome], None] | None,
+) -> None:
+    """Report a cache-hit/journal prefill as if it had just completed
+    (journaling cache hits so a later resume covers them too)."""
+    if journal is not None and not outcome.resumed:
+        journal.append(outcome)
+    _trial_result_event(outcome)
     if progress is not None:
         progress(outcome)
 
@@ -297,15 +468,13 @@ def _run_serial(
     keep_going: bool,
     journal: SweepJournal | None,
     failures: list[TrialFailure],
+    retry_stats: dict[str, Any],
 ) -> list[TrialOutcome]:
     outcomes: list[TrialOutcome] = []
     for trial in spec.trials:
         outcome = prefilled.get(trial.index)
         if outcome is not None:
-            if journal is not None and not outcome.resumed:
-                journal.append(outcome)
-            if progress is not None:
-                progress(outcome)
+            _replay_prefilled(outcome, journal, progress)
             outcomes.append(outcome)
             continue
         attempt = 1
@@ -313,7 +482,11 @@ def _run_serial(
             try:
                 outcome = _run_one(trial, timeout)
             except Exception as exc:
-                if policy.should_retry(exc, attempt):
+                will_retry = policy.should_retry(exc, attempt)
+                _observe_trial_error(
+                    retry_stats, trial, exc, attempt, will_retry
+                )
+                if will_retry:
                     time.sleep(policy.backoff_seconds(trial, attempt))
                     attempt += 1
                     continue
@@ -345,16 +518,14 @@ def _run_pool(
     keep_going: bool,
     journal: SweepJournal | None,
     failures: list[TrialFailure],
+    retry_stats: dict[str, Any],
 ) -> tuple[list[TrialOutcome], int]:
     collected: dict[int, TrialOutcome] = dict(prefilled)
     for trial in spec.trials:
         outcome = prefilled.get(trial.index)
         if outcome is None:
             continue
-        if journal is not None and not outcome.resumed:
-            journal.append(outcome)
-        if progress is not None:
-            progress(outcome)
+        _replay_prefilled(outcome, journal, progress)
     attempts: dict[int, int] = {}
     failed: set[int] = set()
     restarts = 0
@@ -372,6 +543,7 @@ def _run_pool(
                 _drain_pool(
                     pool, todo, collected, failed, attempts, cache, journal,
                     progress, policy, timeout, keep_going, failures,
+                    retry_stats,
                 )
             break
         except BrokenProcessPool as exc:
@@ -379,6 +551,8 @@ def _run_pool(
             # kill). Everything already collected is safe; rebuild the
             # pool and requeue only the unfinished trials.
             restarts += 1
+            obs_counters.add("pool.restart")
+            event("pool.restart", restarts=restarts)
             if restarts > max_pool_restarts:
                 missing = sorted(
                     t.label
@@ -413,6 +587,7 @@ def _drain_pool(
     timeout: float | None,
     keep_going: bool,
     failures: list[TrialFailure],
+    retry_stats: dict[str, Any],
 ) -> None:
     """Submit ``todo`` and collect until done; failed trials retry into
     the same pool. Raises BrokenProcessPool through to the caller's
@@ -435,7 +610,11 @@ def _drain_pool(
                 attempt = attempts[trial.index] = (
                     attempts.get(trial.index, 0) + 1
                 )
-                if policy.should_retry(exc, attempt):
+                will_retry = policy.should_retry(exc, attempt)
+                _observe_trial_error(
+                    retry_stats, trial, exc, attempt, will_retry
+                )
+                if will_retry:
                     time.sleep(policy.backoff_seconds(trial, attempt))
                     retry_future = pool.submit(_run_one, trial, timeout)
                     future_to_trial[retry_future] = trial

@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.obs import counters
+from repro.obs.spans import event
 from repro.runner.specs import TrialSpec
 
 if TYPE_CHECKING:
@@ -146,6 +148,10 @@ def trial_deadline(spec: TrialSpec, timeout: float | None) -> Iterator[None]:
         return
 
     def on_alarm(signum: int, frame: Any) -> None:
+        # Emitted here, in the timing-out process, so the trace shows
+        # *where* the deadline fired; the executor counts the taxonomy
+        # parent-side when the exception reaches it.
+        event("trial.timeout", label=spec.label, timeout=timeout)
         raise TrialTimeoutError(
             f"trial {spec.label!r} exceeded its {timeout}s wall-clock budget"
         )
@@ -284,6 +290,9 @@ class SweepJournal:
                 worker=0,
                 resumed=True,
             )
+        if found:
+            counters.add("journal.resume", len(found))
+            event("journal.resume", path=str(self.path), trials=len(found))
         return found
 
     def _ensure_loaded(self) -> None:
@@ -401,6 +410,7 @@ class SweepJournal:
             "seconds": outcome.seconds,
             "payload": outcome.payload,
         }
+        counters.add("journal.append")
         return True
 
 

@@ -268,11 +268,15 @@ def solve_trial(
     """
     from repro.core.algorithms import ALGORITHMS, ENGINE_FAULTY
     from repro.graphs.families import build_family_graph
+    from repro.obs.spans import span
     from repro.olocal import PROBLEMS
     from repro.registry import load_plugins
 
     load_plugins()
-    graph = build_family_graph(family, n, seed=seed, p=p, degree=degree)
+    # Stage spans reuse the scenario.* names from repro.api.run_scenario
+    # so `repro trace` aggregates both entry points into the same rows.
+    with span("scenario.build_graph", family=family, n=n):
+        graph = build_family_graph(family, n, seed=seed, p=p, degree=degree)
     if fault_drop > 0 or fault_corrupt > 0:
         from repro.model.faults import FaultPlan
 
@@ -282,16 +286,20 @@ def solve_trial(
             seed=fault_seed if fault_seed else seed,
             immune_rounds=frozenset(immune_rounds),
         )
-        outcome = ALGORITHMS.get(algorithm).solve(
-            graph,
-            PROBLEMS.get(problem),
-            engine=ENGINE_FAULTY,
-            fault_plan=plan,
-        )
+        with span(
+            "scenario.solve", algorithm=algorithm, engine=ENGINE_FAULTY
+        ):
+            outcome = ALGORITHMS.get(algorithm).solve(
+                graph,
+                PROBLEMS.get(problem),
+                engine=ENGINE_FAULTY,
+                fault_plan=plan,
+            )
     else:
-        outcome = ALGORITHMS.get(algorithm).solve(
-            graph, PROBLEMS.get(problem), engine=engine
-        )
+        with span("scenario.solve", algorithm=algorithm, engine=engine):
+            outcome = ALGORITHMS.get(algorithm).solve(
+                graph, PROBLEMS.get(problem), engine=engine
+            )
     row = (
         family,
         graph.n,
