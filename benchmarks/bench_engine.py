@@ -23,6 +23,13 @@ Measures, on the same machine and in the same process:
 - **vectorized_mega** — a throughput-only n = 10^6 run of both
   vectorized solvers (no per-node counterpart is feasible at that
   size, so no speedup is reported).
+- **vectorized_theorem1 / vectorized_theorem9** — the clustered
+  headline pipeline on the array engine vs the per-node simulator:
+  the full Theorem 1 composition (Theorem 13 clustering + Theorem 9
+  solver) and the Theorem 9 stage alone on a shared precomputed
+  clustering, bit-identical first, timed second;
+- **vectorized_theorem1_mega** — throughput-only Theorem 1 runs at
+  n = 2^17 and n = 10^6 (the simulator side would take hours there).
 
 Each simulator pair is also checked for *bit-identical* outputs and
 metrics before its timing is reported — a benchmark that changed
@@ -419,6 +426,80 @@ def bench_vectorized_mega(results, n=1_000_000):
     }
 
 
+def bench_vectorized_clustered(n, reps, results):
+    """The clustered pipeline (Theorem 13 + Theorem 9) on the array
+    engine vs the per-node simulator. Always a single rep: the
+    *simulator* side of the theorem1 pair costs ~18 s at n = 1024 and
+    ~90 s at n = 4096 — which is exactly the gap being measured."""
+    from repro.core import theorem1, theorem9
+    from repro.core.clustering_vectorized import (
+        compute_clustering_vectorized,
+    )
+    from repro.core.theorem1_vectorized import (
+        solve_vectorized,
+        solve_with_clustering_vectorized,
+    )
+    from repro.olocal import MaximalIndependentSet
+
+    g = gnp(n, 8.0 / n, seed=1)
+    problem = MaximalIndependentSet()
+    reps = 1
+
+    vec_res, t_vec = timed(lambda: solve_vectorized(g, problem), reps)
+    seed_res, t_seed = timed(lambda: theorem1.solve(g, problem), reps)
+    case = f"vectorized_theorem1/gnp/n={n}"
+    check_identical(vec_res.simulation, seed_res.simulation, case)
+    assert vec_res.outputs == seed_res.outputs, f"{case}: outputs diverged"
+    node_rounds = vec_res.simulation.metrics.total_awake
+    results[case] = {
+        "node_rounds": node_rounds,
+        "new_per_sec": node_rounds / t_vec,
+        "seed_per_sec": node_rounds / t_seed,
+        "speedup": t_seed / t_vec,
+    }
+
+    # Theorem 9 alone, both engines fed the same precomputed clustering.
+    clustering = compute_clustering_vectorized(g, validate=False).clustering
+    vec9, t_vec = timed(
+        lambda: solve_with_clustering_vectorized(g, problem, clustering),
+        reps,
+    )
+    seed9, t_seed = timed(
+        lambda: theorem9.solve_with_clustering(g, problem, clustering), reps
+    )
+    case = f"vectorized_theorem9/gnp/n={n}"
+    check_identical(vec9.simulation, seed9.simulation, case)
+    assert vec9.outputs == seed9.outputs, f"{case}: outputs diverged"
+    node_rounds = vec9.simulation.metrics.total_awake
+    results[case] = {
+        "node_rounds": node_rounds,
+        "new_per_sec": node_rounds / t_vec,
+        "seed_per_sec": node_rounds / t_seed,
+        "speedup": t_seed / t_vec,
+    }
+
+
+def bench_vectorized_clustered_mega(results):
+    """Throughput-only Theorem 1 pipeline runs at the sizes the
+    simulator cannot reach (its n = 4096 run already takes ~90 s, and
+    the cost grows superlinearly). ``validate=False`` for the same
+    reason as the greedy/baseline mega cases; min-of-2 sheds the
+    one-time page-fault/lazy-import noise of the first mega call."""
+    from repro.core.theorem1_vectorized import solve_vectorized
+    from repro.olocal import MaximalIndependentSet
+
+    problem = MaximalIndependentSet()
+    for n, avg_degree in ((1 << 17, 8), (1_000_000, 4)):
+        g = fast_gnp(n, avg_degree, seed=1)
+        res, t = timed(lambda: solve_vectorized(g, problem, validate=False), 2)
+        node_rounds = res.simulation.metrics.total_awake
+        results[f"vectorized_theorem1_mega/gnp/n={n}"] = {
+            "node_rounds": node_rounds,
+            "new_per_sec": node_rounds / t,
+            "seconds": t,
+        }
+
+
 FAMILIES = [
     ("path", lambda n: path(n)),
     ("gnp", lambda n: gnp(n, 8.0 / n, seed=1)),
@@ -459,8 +540,11 @@ def main(argv=None):
     # quick-mode keys or the CI `--quick --check` would skip them.
     for n in (1024,) if args.quick else (1024, 4096, 131072):
         bench_vectorized(n, reps, results)
+    for n in (1024,) if args.quick else (1024, 4096):
+        bench_vectorized_clustered(n, reps, results)
     if not args.quick:
         bench_vectorized_mega(results)
+        bench_vectorized_clustered_mega(results)
 
     width = max(len(k) for k in results)
     print(f"{'benchmark'.ljust(width)}  {'new/s':>12}  {'seed/s':>12}  {'speedup':>8}")

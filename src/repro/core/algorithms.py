@@ -34,7 +34,10 @@ algorithms, the equivalent native loop of
 :func:`repro.model.lockstep.run_local`; ``reference`` is a centralized
 oracle with deterministic synthetic accounting; ``vectorized`` replaces
 per-node dispatch with whole-graph numpy kernels
-(:mod:`repro.model.vectorized`) — bit-identical outputs and metrics,
+(:mod:`repro.model.vectorized` for the greedy/baseline solvers,
+:mod:`repro.core.clustering_vectorized` +
+:mod:`repro.core.theorem1_vectorized` for the clustered pipeline) —
+bit-identical outputs and metrics,
 built for n ≥ 10⁵ (requires numpy); ``faulty-simulator`` is the event
 loop behind a deterministic message-fault filter
 (:class:`repro.model.faults.FaultySimulator`) — the fault-injection
@@ -320,7 +323,7 @@ def _trace_baseline(
     "awake O(√log n · log* n)",
     aliases=("t1",),
     params={"b": "override the paper's b = 2^√(log n) (ablations)"},
-    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY),
+    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY, ENGINE_VECTORIZED),
     trace_program=_trace_theorem1,
 )
 def _run_theorem1(
@@ -330,12 +333,24 @@ def _run_theorem1(
     b: int | None = None,
     fault_plan: Any = None,
 ) -> SolveOutcome:
-    """Theorem 1 end to end on the Sleeping simulator."""
-    from repro.core.theorem1 import solve
+    """Theorem 1 end to end.
 
+    The ``simulator``/``faulty-simulator`` engines run the per-node
+    generator pipeline on the Sleeping event loop; ``vectorized`` runs
+    the array-kernel twin
+    (:func:`repro.core.theorem1_vectorized.solve_vectorized`) with
+    bit-identical outputs and metrics.
+    """
     faults = _FaultInjector(engine, fault_plan)
-    with faults.guarding():
-        result = solve(graph, problem, b=b, simulator=faults.factory)
+    if engine == ENGINE_VECTORIZED:
+        from repro.core.theorem1_vectorized import solve_vectorized
+
+        result = solve_vectorized(graph, problem, b=b)
+    else:
+        from repro.core.theorem1 import solve
+
+        with faults.guarding():
+            result = solve(graph, problem, b=b, simulator=faults.factory)
     return _simulation_outcome(
         "theorem1",
         result.outputs,
@@ -398,7 +413,7 @@ def _run_baseline(
     "awake O(log c) (solving stage)",
     aliases=("t9", "clustered"),
     params={"b": "override the paper's b = 2^√(log n) (ablations)"},
-    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY),
+    engines=(ENGINE_SIMULATOR, ENGINE_FAULTY, ENGINE_VECTORIZED),
 )
 def _run_theorem9(
     graph: StaticGraph,
@@ -412,18 +427,36 @@ def _run_theorem9(
     The returned metrics cover the Theorem 9 solving stage only — the
     point of this adapter is to isolate the awake O(log c) stage the
     composed ``theorem1`` pipeline amortizes; the clustering stage's
-    accounting is reported in ``extras``.
+    accounting is reported in ``extras``. On the ``vectorized`` engine
+    both stages run as array kernels
+    (:mod:`repro.core.clustering_vectorized`,
+    :mod:`repro.core.theorem1_vectorized`) with bit-identical metrics.
     """
-    from repro.core.theorem9 import solve_with_clustering
-    from repro.core.theorem13 import compute_clustering
-
     faults = _FaultInjector(engine, fault_plan)
-    with span("theorem9.clustering", n=graph.n):
-        clustering = compute_clustering(graph, b=b)
-    with faults.guarding():
-        result = solve_with_clustering(
-            graph, problem, clustering.clustering, simulator=faults.factory
+    if engine == ENGINE_VECTORIZED:
+        from repro.core.clustering_vectorized import (
+            compute_clustering_vectorized,
         )
+        from repro.core.theorem1_vectorized import (
+            solve_with_clustering_vectorized,
+        )
+
+        with span("theorem9.clustering", n=graph.n):
+            clustering = compute_clustering_vectorized(graph, b=b)
+        result = solve_with_clustering_vectorized(
+            graph, problem, clustering.clustering
+        )
+    else:
+        from repro.core.theorem9 import solve_with_clustering
+        from repro.core.theorem13 import compute_clustering
+
+        with span("theorem9.clustering", n=graph.n):
+            clustering = compute_clustering(graph, b=b)
+        with faults.guarding():
+            result = solve_with_clustering(
+                graph, problem, clustering.clustering,
+                simulator=faults.factory,
+            )
     return _simulation_outcome(
         "theorem9",
         result.outputs,

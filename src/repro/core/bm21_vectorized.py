@@ -41,7 +41,12 @@ from repro.core.bm21 import BaselineResult
 from repro.core.linial import final_palette, reduction_schedule
 from repro.core.mapping import ColorScheduleMapping
 from repro.errors import ProtocolError, ReproError
-from repro.graphs.arrays import ragged_gather, require_numpy, segment_any
+from repro.graphs.arrays import (
+    ragged_gather,
+    require_numpy,
+    segment_any,
+    sorted_unique,
+)
 from repro.graphs.graph import StaticGraph
 from repro.model.metrics import SimulationMetrics
 from repro.model.simulator import SimulationResult
@@ -84,7 +89,7 @@ def _linial_step_vectorized(graph: StaticGraph, colors: Any, d: int, q: int) -> 
         nbrs, counts = ragged_gather(ga.offsets, ga.flat, undecided)
         # Evaluate only the rows this iteration reads (frontier ∪ its
         # neighborhood); stale entries elsewhere are never consulted.
-        needed = np.unique(np.concatenate((undecided, nbrs)))
+        needed = sorted_unique(np.concatenate((undecided, nbrs)))
         acc = np.zeros(len(needed), dtype=np.int64)
         for j in range(width - 1, -1, -1):
             acc = (acc * x + digits[needed, j]) % q

@@ -1,0 +1,680 @@
+"""Theorem 13 on the array engine — the clustering pipeline in closed form.
+
+The simulator executes the Theorem 13 pipeline by dispatching one
+generator per node per round through ``k = 2·⌈sqrt(log n)⌉`` phases of
+Lemma 15 (on the virtual graph) plus Lemma 14 (flattening).  Every phase
+is lockstep: the vround calendar of each member is a closed-form function
+of a handful of per-cluster integers (the tree label c2, its parent's
+c2, the BFS depths δ and δ', and the deterministic Linial/cast
+durations).  This module replays the whole pipeline as numpy kernels
+over the :class:`~repro.graphs.arrays.GraphArrays` CSR mirror:
+
+- **the virtual graph H** of each phase is a cluster-level CSR built
+  with ``np.unique`` over inter-cluster edge keys;
+- **Linial reductions** (the distance-2 prologue, and the distance-1
+  coloring of G[U]) run whole-frontier over explicit conflict-pair
+  CSRs — the distance-2 conflicts are the direct edges plus the relayed
+  triples ``(v, mid, w)`` with ``w != v``, exactly the colors
+  :func:`repro.core.linial.linial_coloring` collects;
+- **the F2 forest** (parents p2) roots via pointer doubling, and all
+  BFS distances (induced cluster distances, Lemma 14 merges) run as
+  masked frontier waves;
+- **accounting** — per-member awake rounds, messages, termination
+  rounds and the global active-round set are evaluated in closed form
+  from the per-cluster event counts, **bit-identical** to the
+  :class:`~repro.model.simulator.SleepingSimulator` run of
+  :func:`repro.core.theorem13.compute_clustering` — the differential
+  suite in ``tests/test_engine_equivalence.py`` is the gate.
+
+Per-phase work is O(n + m + Σ deg_H²) array time (the triples), and the
+virtual graph shrinks geometrically, so the whole clustering runs at
+n = 10⁶ in seconds where the simulator needs hours.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.lemma14 import lemma14_duration
+from repro.core.lemma15 import (
+    c2_bound,
+    distance2_conflict_degree,
+    distance2_palette,
+    lemma15_duration,
+    singleton_palette,
+)
+from repro.core.linial import reduction_schedule
+from repro.core.theorem1_vectorized import _member_offsets
+from repro.core.theorem13 import (
+    ClusteringResult,
+    Theorem13Assignment,
+    _package,
+    default_b,
+    num_phases,
+    phase_label_space,
+)
+from repro.core.virtual import virtual_duration
+from repro.errors import ProtocolError, ReproError
+from repro.graphs.arrays import (
+    ragged_gather,
+    require_numpy,
+    segment_any,
+    segment_sum,
+    sorted_unique,
+)
+from repro.graphs.graph import StaticGraph
+from repro.model.metrics import SimulationMetrics
+from repro.model.simulator import SimulationResult
+from repro.obs import counters
+from repro.obs.spans import span
+
+#: Sentinel larger than any color, label or slot index that can occur.
+_BIG = 1 << 62
+
+
+def _segment_min(np: Any, values: Any, offsets: Any, fill: int) -> Any:
+    """Per-segment minima of ``values`` delimited by CSR ``offsets``.
+
+    Args:
+        np: the numpy module.
+        values: int64 data, segment-contiguous in ``offsets`` order.
+        offsets: CSR row pointers (length ``num_segments + 1``).
+        fill: value returned for empty segments.
+
+    Returns:
+        int64 array of per-segment minima (``fill`` where empty).
+    """
+    num = len(offsets) - 1
+    out = np.full(num, fill, dtype=np.int64)
+    nonempty = offsets[:-1] < offsets[1:]
+    if values.size and nonempty.any():
+        # With empty segments dropped the next start equals this
+        # segment's end, so reduceat reduces exactly each segment.
+        out[nonempty] = np.minimum.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+def _linial_step_pairs(
+    np: Any,
+    colors: Any,
+    labels: Any,
+    csrs: list[tuple[Any, Any]],
+    d: int,
+    q: int,
+) -> Any:
+    """One Linial reduction step over explicit conflict-pair CSRs.
+
+    The generic twin of
+    :func:`repro.core.bm21_vectorized._linial_step_vectorized`: conflicts
+    come from one or more CSR pair lists instead of the graph adjacency,
+    so the same kernel serves the distance-2 prologue (direct ∪ relayed
+    pairs) and the distance-1 coloring of an induced subgraph.
+
+    Args:
+        np: the numpy module.
+        colors: current int64 colors, one per vertex.
+        labels: per-vertex IDs, for error messages only.
+        csrs: list of ``(offsets, dst)`` conflict CSRs; a vertex clashes
+            at x iff any listed conflict partner evaluates equal.
+        d: the step's polynomial degree.
+        q: the step's field size.
+
+    Returns:
+        The new int64 colors (``x·q + p(x)`` at the first safe x).
+    """
+    nv = colors.shape[0]
+    width = d + 1
+    digits = np.empty((nv, width), dtype=np.int64)
+    rest = colors.copy()
+    for j in range(width):
+        digits[:, j] = rest % q
+        rest //= q
+    if rest.any():
+        bad = int(labels[np.flatnonzero(rest)[0]])
+        raise ReproError(
+            f"node {bad}: color does not fit in {width} base-{q} digits"
+        )
+
+    values = np.zeros(nv, dtype=np.int64)
+    new_colors = np.empty(nv, dtype=np.int64)
+    undecided = np.arange(nv, dtype=np.int64)
+    for x in range(q):
+        if not undecided.size:
+            return new_colors
+        gathered = [ragged_gather(off, dst, undecided) for off, dst in csrs]
+        needed = sorted_unique(
+            np.concatenate([undecided] + [nbrs for nbrs, _ in gathered])
+        )
+        acc = np.zeros(len(needed), dtype=np.int64)
+        for j in range(width - 1, -1, -1):
+            acc = (acc * x + digits[needed, j]) % q
+        values[needed] = acc
+        conflicted = np.zeros(len(undecided), dtype=bool)
+        for nbrs, counts in gathered:
+            clash = values[nbrs] == np.repeat(values[undecided], counts)
+            conflicted |= segment_any(clash, counts)
+        safe = undecided[~conflicted]
+        new_colors[safe] = x * q + values[safe]
+        undecided = undecided[conflicted]
+    if undecided.size:
+        me = int(labels[undecided[0]])
+        raise ProtocolError(
+            f"node {me}: no safe evaluation point in F_{q} — the input "
+            f"coloring was not proper or the degree bound was violated"
+        )
+    return new_colors
+
+
+def _masked_bfs(
+    np: Any, offsets: Any, flat: Any, sources: Any, group: Any, member: Any
+) -> Any:
+    """Multi-source BFS restricted to same-group member vertices.
+
+    Every source starts its own wave; a vertex joins a wave only if it
+    is a ``member`` and shares the source's ``group`` key, so disjoint
+    clusters flood concurrently without interfering.
+
+    Args:
+        np: the numpy module.
+        offsets: CSR row pointers.
+        flat: CSR neighbor slots.
+        sources: int64 slots at distance 0.
+        group: int64 per-slot partition keys.
+        member: boolean per-slot eligibility mask.
+
+    Returns:
+        int64 per-slot distances, -1 where unreached.
+    """
+    dist = np.full(len(group), -1, dtype=np.int64)
+    dist[sources] = 0
+    frontier = sources
+    level = 0
+    while frontier.size:
+        level += 1
+        nbrs, counts = ragged_gather(offsets, flat, frontier)
+        if not nbrs.size:
+            break
+        srcs = np.repeat(frontier, counts)
+        mask = member[nbrs] & (dist[nbrs] < 0) & (group[nbrs] == group[srcs])
+        cand = sorted_unique(nbrs[mask])
+        if not cand.size:
+            break
+        dist[cand] = level
+        frontier = cand
+    return dist
+
+
+def _clustering_kernel(
+    graph: StaticGraph, b: int
+) -> tuple[dict, SimulationResult, tuple[Any, Any, Any]]:
+    """Run the Theorem 13 pipeline as array kernels.
+
+    Args:
+        graph: the network.
+        b: the phase parameter (clusters with root degree ≤ b dissolve).
+
+    Returns:
+        ``(assignments, simulation, arrays)`` — per-node
+        :class:`~repro.core.theorem13.Theorem13Assignment` outputs, a
+        :class:`SimulationResult` whose metrics are bit-identical to the
+        :func:`~repro.core.theorem13.compute_clustering` simulator run,
+        and the raw per-slot ``(phase, gamma, dist)`` int64 columns so
+        downstream kernels can derive colors without walking the dict.
+    """
+    np = require_numpy()
+    metrics = SimulationMetrics()
+    if graph.n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return (
+            {},
+            SimulationResult(outputs={}, metrics=metrics, graph=graph),
+            (empty, empty, empty),
+        )
+
+    ga = graph.arrays
+    n, id_space = graph.n, graph.id_space
+    phases = num_phases(n)
+
+    label = ga.ids.copy()
+    delta = np.zeros(ga.n, dtype=np.int64)
+    active = np.ones(ga.n, dtype=bool)
+
+    awake = np.zeros(ga.n, dtype=np.int64)
+    msgs = np.zeros(ga.n, dtype=np.int64)
+    termination = np.zeros(ga.n, dtype=np.int64)
+    out_phase = np.zeros(ga.n, dtype=np.int64)
+    out_gamma = np.zeros(ga.n, dtype=np.int64)
+    out_dist = np.zeros(ga.n, dtype=np.int64)
+    round_chunks: list[Any] = []
+
+    clock = 1
+    for i in range(1, phases + 1):
+        ls = phase_label_space(id_space, b, i)
+        window15 = virtual_duration(n, lemma15_duration(n, ls, b))
+        if active.any():
+            clock_14 = clock + window15
+            label, delta, active = _run_phase(
+                np, graph, b, i, ls, clock, clock_14,
+                label, delta, active,
+                awake, msgs, termination,
+                out_phase, out_gamma, out_dist, round_chunks,
+            )
+        clock += window15 + lemma14_duration(n)
+
+    if active.any():
+        raise ProtocolError(
+            f"{int(active.sum())} nodes unassigned after {phases} phases"
+        )
+
+    ids = ga.ids.tolist()
+    assignments = {
+        v: Theorem13Assignment(phase=p, gamma=g, dist=d)
+        for v, p, g, d in zip(
+            ids, out_phase.tolist(), out_gamma.tolist(), out_dist.tolist()
+        )
+    }
+    metrics.awake_rounds = dict(zip(ids, awake.tolist()))
+    metrics.termination_round = dict(zip(ids, termination.tolist()))
+    metrics.messages_sent = int(msgs.sum())
+    metrics.last_round = int(termination.max())
+    metrics.active_rounds = int(
+        sorted_unique(np.concatenate(round_chunks)).size if round_chunks else 0
+    )
+    simulation = SimulationResult(
+        outputs=assignments, metrics=metrics, graph=graph
+    )
+    return assignments, simulation, (out_phase, out_gamma, out_dist)
+
+
+def _run_phase(
+    np: Any,
+    graph: StaticGraph,
+    b: int,
+    i: int,
+    ls: int,
+    clock: int,
+    clock_14: int,
+    label: Any,
+    delta: Any,
+    active: Any,
+    awake: Any,
+    msgs: Any,
+    termination: Any,
+    out_phase: Any,
+    out_gamma: Any,
+    out_dist: Any,
+    round_chunks: list[Any],
+) -> tuple[Any, Any, Any]:
+    """One Theorem 13 phase: Lemma 15 on H, then the Lemma 14 merge.
+
+    Mutates the accounting accumulators in place and returns the next
+    phase's ``(label, delta, active)`` G-state.
+
+    Args:
+        np: the numpy module.
+        graph: the network.
+        b: the phase parameter.
+        i: the 1-indexed phase number.
+        ls: the phase's cluster-label space.
+        clock: first round of the phase's Lemma 15 window.
+        clock_14: first round of the phase's Lemma 14 window.
+        label: per-slot cluster labels ℓ entering the phase.
+        delta: per-slot BFS depths δ entering the phase.
+        active: per-slot participation mask.
+        awake: per-slot awake-round accumulator (mutated).
+        msgs: per-slot message accumulator (mutated).
+        termination: per-slot termination rounds (mutated).
+        out_phase: per-slot assignment phase (mutated).
+        out_gamma: per-slot assignment color γ' (mutated).
+        out_dist: per-slot assignment depth (mutated).
+        round_chunks: global active-round chunks (appended to).
+
+    Returns:
+        ``(label, delta, active)`` for the next phase.
+    """
+    ga = graph.arrays
+    n = graph.n
+    ab2 = singleton_palette(b)
+    window = 2 * n + 3
+    esrc, edst = ga.edge_sources, ga.flat
+
+    # ---- the virtual graph H of the current clustering -------------------
+    hlabels = sorted_unique(label[active])
+    num_h = hlabels.size
+    hidx = np.zeros(ga.n, dtype=np.int64)
+    hidx[active] = np.searchsorted(hlabels, label[active])
+    e_act = active[esrc] & active[edst]
+    same_lab = label[esrc] == label[edst]
+    e_x = e_act & ~same_lab
+    hkey = hidx[esrc[e_x]] * np.int64(num_h) + hidx[edst[e_x]]
+    ukey = sorted_unique(hkey)
+    hdeg = np.bincount(ukey // num_h, minlength=num_h).astype(np.int64)
+    hoff = np.zeros(num_h + 1, dtype=np.int64)
+    np.cumsum(hdeg, out=hoff[1:])
+    hflat = ukey % num_h
+
+    # ---- Lemma 15, steps 1-4: colors c1/c2 and parents p1/p2 -------------
+    k = distance2_palette(n, ls)
+    big_b = c2_bound(n, ls)
+    cast_len = big_b + 2  # labeled_cast_duration
+    sched2 = reduction_schedule(ls, distance2_conflict_degree(n))
+    steps2 = len(sched2)
+    sched_u = reduction_schedule(ls, b)
+    steps_u = len(sched_u)
+
+    # Relayed triples (src, mid, w): what the distance-2 rounds deliver.
+    hes = np.repeat(np.arange(num_h, dtype=np.int64), hdeg)
+    w2, _ = ragged_gather(hoff, hflat, hflat)
+    rep = hdeg[hflat]
+    src2 = np.repeat(hes, rep)
+    mid2 = np.repeat(hflat, rep)
+    relay = w2 != src2
+    rsrc, rmid, rw = src2[relay], mid2[relay], w2[relay]
+    del w2, src2, mid2, relay, rep
+    rcnt = np.bincount(rsrc, minlength=num_h).astype(np.int64)
+    roff = np.zeros(num_h + 1, dtype=np.int64)
+    np.cumsum(rcnt, out=roff[1:])
+
+    c0 = hlabels - 1
+    for d, q in sched2:
+        c0 = _linial_step_pairs(
+            np, c0, hlabels, [(hoff, hflat), (roff, rw)], d, q
+        )
+    c1 = np.where(hdeg <= b, c0 + 1 + k, c0 + 1)
+
+    # The three-case parent rule: c1 is unique on every 2-ball, so the
+    # color minimum pins a single vertex and a second segment-min finds
+    # it; the relayed set may repeat direct neighbors, which can never
+    # win case 3 (all direct colors exceed c1 there).
+    rc = c1[rw]
+    dmin_c = _segment_min(np, c1[hflat], hoff, _BIG)
+    rmin_c = _segment_min(np, rc, roff, _BIG)
+    root_h = (dmin_c > c1) & (rmin_c > c1)
+    case2 = ~root_h & (dmin_c < c1)
+    case3 = ~root_h & ~case2
+    darg = _segment_min(
+        np, np.where(c1[hflat] == dmin_c[hes], hflat, _BIG), hoff, _BIG
+    )
+    rarg = _segment_min(np, np.where(rc == rmin_c[rsrc], rw, _BIG), roff, _BIG)
+    p1 = np.where(case2, darg, np.where(case3, rarg, -1))
+    parent_c1 = np.where(root_h, 0, np.where(case2, dmin_c, rmin_c))
+    c2 = np.where(root_h, 0, 2 * parent_c1 + case3)
+    p2 = np.where(case2, p1, np.int64(-1))
+    if case3.any():
+        common = _segment_min(
+            np,
+            np.where(case3[rsrc] & (rw == p1[rsrc]), rmid, _BIG),
+            roff,
+            _BIG,
+        )
+        bad = case3 & (common >= _BIG)
+        if bad.any():
+            v = int(hlabels[np.flatnonzero(bad)[0]])
+            raise ProtocolError(
+                f"node {v}: 2-hop parent shares no common neighbor"
+            )
+        p2 = np.where(case3, common, p2)
+    del rc, rsrc, rmid, rw, rcnt, roff
+    if int(c2.max(initial=0)) > big_b:
+        v = int(hlabels[int(np.argmax(c2))])
+        raise ProtocolError(
+            f"node {v}: c2 = {int(c2.max())} exceeds bound {big_b}"
+        )
+
+    # ---- steps 5-7: the F2 forest, induced distances, U coloring ---------
+    ptr = np.where(p2 >= 0, p2, np.arange(num_h, dtype=np.int64))
+    for _ in range(max(1, num_h).bit_length() + 1):
+        nxt = ptr[ptr]
+        if np.array_equal(nxt, ptr):
+            break
+        ptr = nxt
+    rootidx = ptr
+    if (p2[rootidx] >= 0).any():
+        v = int(hlabels[np.flatnonzero(p2[rootidx] >= 0)[0]])
+        raise ProtocolError(f"node {v}: F2 is not a forest")
+    singleton_h = hdeg[rootidx] <= b
+    bad = singleton_h & (hdeg > b)
+    if bad.any():
+        v = np.flatnonzero(bad)[0]
+        raise ProtocolError(
+            f"node {int(hlabels[v])}: in a low-degree-rooted cluster but "
+            f"deg = {int(hdeg[v])} > b = {b} — contradicts Lemma 15"
+        )
+    d_h = _masked_bfs(
+        np, hoff, hflat, np.flatnonzero(p2 < 0), rootidx,
+        np.ones(num_h, dtype=bool),
+    )
+    if (d_h < 0).any():
+        v = np.flatnonzero(d_h < 0)[0]
+        raise ProtocolError(
+            f"node {int(hlabels[v])}: cluster of root "
+            f"{int(hlabels[rootidx[v]])} is not connected in G"
+        )
+
+    gamma_h = np.zeros(num_h, dtype=np.int64)
+    uid = np.flatnonzero(singleton_h)
+    if uid.size:
+        upair = singleton_h[hes] & singleton_h[hflat]
+        udeg = segment_sum(upair.astype(np.int64), hoff)
+        if (udeg[uid] > b).any():
+            v = uid[np.flatnonzero(udeg[uid] > b)[0]]
+            raise ProtocolError(
+                f"node {int(hlabels[v])}: {int(udeg[v])} U-neighbors "
+                f"> b = {b}"
+            )
+        uofv = np.zeros(num_h, dtype=np.int64)
+        uofv[uid] = np.arange(uid.size, dtype=np.int64)
+        ucnt = np.bincount(uofv[hes[upair]], minlength=uid.size)
+        uoff = np.zeros(uid.size + 1, dtype=np.int64)
+        np.cumsum(ucnt, out=uoff[1:])
+        ucol = hlabels[uid] - 1
+        for d, q in sched_u:
+            ucol = _linial_step_pairs(
+                np, ucol, hlabels[uid], [(uoff, uofv[hflat[upair]])], d, q
+            )
+        gamma_u = ucol + 1
+        if (gamma_u > ab2).any() or (gamma_u < 1).any():
+            v = uid[np.flatnonzero((gamma_u > ab2) | (gamma_u < 1))[0]]
+            raise ProtocolError(
+                f"node {int(hlabels[v])}: singleton color outside [1, {ab2}]"
+            )
+        gamma_h[uid] = gamma_u
+
+    # ---- Lemma 15 accounting over the G-members --------------------------
+    hv = hidx  # per-slot H-vertex (garbage where inactive; always masked)
+    intra = segment_sum((e_act & same_lab).astype(np.int64), ga.offsets)
+    foreign = segment_sum(e_x.astype(np.int64), ga.offsets)
+    nev_a = (
+        2 * steps2 + 2
+        + np.where(root_h, 8, 12)
+        + np.where(singleton_h, 1 + steps_u, 0)
+    )
+    n_all = 2 * steps2 + 8 + singleton_h.astype(np.int64)
+    plab_h = np.where(p2 >= 0, hlabels[np.maximum(p2, 0)], np.int64(-1))
+    pd_edge = e_x & (label[edst] == plab_h[hv][esrc])
+    parent_deg = segment_sum(pd_edge.astype(np.int64), ga.offsets)
+    sing_dst = np.zeros(ga.n, dtype=bool)
+    sing_dst[active] = singleton_h[hidx[active]]
+    deg_u = segment_sum((e_x & sing_dst[edst]).astype(np.int64), ga.offsets)
+
+    sing_s = active & sing_dst
+    s_flag = (delta > 0).astype(np.int64)
+    w15_awake = (1 + nev_a[hv]) * np.where(delta == 0, 3, 5)
+    w15_msgs = (
+        ga.degrees
+        + (1 + nev_a[hv]) * (s_flag + intra)
+        + n_all[hv] * foreign
+        + 2 * (~root_h[hv]).astype(np.int64) * parent_deg
+        + singleton_h[hv].astype(np.int64) * steps_u * deg_u
+    )
+    awake[active] += w15_awake[active]
+    msgs[active] += w15_msgs[active]
+
+    # Active rounds: the fixed calendar (setup, Linial, c1 exchange, the
+    # four cast anchors, and the singleton tail) plus the c2/c2p-keyed
+    # cast rounds, expanded per distinct depth δ — absolute rounds are
+    # deduplicated globally, never summed per category (the δ = 0 and
+    # δ = 1 gather offsets collide).
+    vc2 = 3 + 2 * steps2
+    vc4 = vc2 + 4 * cast_len
+    betas = np.array([vc2, vc2 + 2 * cast_len], dtype=np.int64)
+    fixed = np.concatenate((
+        np.arange(vc2, dtype=np.int64),
+        betas,
+        betas + cast_len,
+    ))
+    sing_rounds = np.concatenate((
+        np.array([vc4], dtype=np.int64),
+        vc4 + 1 + np.arange(steps_u, dtype=np.int64),
+    ))
+    c2_s = c2[hv]
+    c2p_s = np.where(p2 >= 0, c2[np.maximum(p2, 0)], 0)[hv]
+    for dd in sorted_unique(delta[active]).tolist():
+        sel = active & (delta == dd)
+        parts = [fixed]
+        cset = sorted_unique(c2_s[sel])
+        parts.append((betas[None, :] + 1 + big_b - cset[:, None]).ravel())
+        parts.append((betas[None, :] + cast_len + 1 + cset[:, None]).ravel())
+        nonroot_sel = sel & ~root_h[hv]
+        if nonroot_sel.any():
+            pset = sorted_unique(c2p_s[nonroot_sel])
+            parts.append((betas[None, :] + 1 + big_b - pset[:, None]).ravel())
+            parts.append(
+                (betas[None, :] + cast_len + 1 + pset[:, None]).ravel()
+            )
+        if (sel & sing_s).any():
+            parts.append(sing_rounds)
+        vrs = sorted_unique(np.concatenate(parts))
+        offs = _member_offsets(np, n, int(dd))
+        round_chunks.append(
+            (clock + vrs[:, None] * window + offs[None, :]).ravel()
+        )
+
+    # ---- singleton members finish: γ = (i, γ'), δ kept -------------------
+    out_phase[sing_s] = i
+    out_gamma[sing_s] = gamma_h[hv[sing_s]]
+    out_dist[sing_s] = delta[sing_s]
+    termination[sing_s] = (
+        clock + (vc4 + steps_u) * window + n + delta[sing_s] + 2
+    )
+
+    # ---- Lemma 14: merge the residual clusters ---------------------------
+    residual = active & ~sing_s
+    if not residual.any():
+        return label, delta, residual
+
+    res_h = ~singleton_h
+    hres_e = res_h[hes] & res_h[hflat]
+    same_super = hres_e & (rootidx[hes] == rootidx[hflat])
+    parent2_h = _segment_min(
+        np,
+        np.where(same_super & (d_h[hflat] == d_h[hes] - 1), hflat, _BIG),
+        hoff,
+        _BIG,
+    )
+    bad = res_h & (d_h > 0) & (parent2_h >= _BIG)
+    if bad.any():
+        v = np.flatnonzero(bad)[0]
+        raise ProtocolError(
+            f"cluster {int(hlabels[v])}: δ' = {int(d_h[v])} but no "
+            f"super-cluster neighbor at δ' = {int(d_h[v]) - 1}"
+        )
+    nev_b = 3 + 2 * (d_h > 0).astype(np.int64)
+
+    e_res = residual[esrc] & residual[edst]
+    intra_r = segment_sum((e_res & same_lab).astype(np.int64), ga.offsets)
+    e_rx = e_res & ~same_lab
+    foreign_r = segment_sum(e_rx.astype(np.int64), ga.offsets)
+    p2lab_h = np.where(
+        parent2_h < _BIG,
+        hlabels[np.minimum(parent2_h, num_h - 1)],
+        np.int64(-1),
+    )
+    parent2_deg = segment_sum(
+        (e_rx & (label[edst] == p2lab_h[hv][esrc])).astype(np.int64),
+        ga.offsets,
+    )
+    rt_s = rootidx[hv]
+    samesuper_deg = segment_sum(
+        (e_rx & (rt_s[edst] == rt_s[esrc])).astype(np.int64), ga.offsets
+    )
+    d2_s = d_h[hv]
+    w14_awake = (1 + nev_b[hv]) * np.where(delta == 0, 3, 5)
+    w14_msgs = (
+        ga.degrees
+        + (1 + nev_b[hv]) * (s_flag + intra_r)
+        + foreign_r
+        + (d2_s > 0).astype(np.int64) * parent2_deg
+        + samesuper_deg
+    )
+    awake[residual] += w14_awake[residual]
+    msgs[residual] += w14_msgs[residual]
+
+    for dd in sorted_unique(delta[residual]).tolist():
+        sel = residual & (delta == dd)
+        d2set = sorted_unique(d2_s[sel])
+        parts = [
+            np.array([0, 1], dtype=np.int64),
+            n - d2set + 1,
+            n + d2set + 3,
+        ]
+        pos = d2set[d2set > 0]
+        if pos.size:
+            parts += [n - pos + 2, n + pos + 2]
+        vrs = sorted_unique(np.concatenate(parts))
+        offs = _member_offsets(np, n, int(dd))
+        round_chunks.append(
+            (clock_14 + vrs[:, None] * window + offs[None, :]).ravel()
+        )
+
+    # Merge roots (δ = 0 and δ' = 0, unique per merged cluster), new
+    # labels ℓ'' = root ID + a·b², and induced BFS distances in G.
+    is_root = residual & (delta == 0) & (d2_s == 0)
+    root_counts = np.bincount(rt_s[is_root], minlength=num_h)
+    merged = sorted_unique(rt_s[residual])
+    if (root_counts[merged] != 1).any():
+        h = merged[np.flatnonzero(root_counts[merged] != 1)[0]]
+        raise ProtocolError(
+            f"merged cluster {int(hlabels[h]) + ab2} has "
+            f"{int(root_counts[h])} roots"
+        )
+    dist_new = _masked_bfs(
+        np, ga.offsets, ga.flat, np.flatnonzero(is_root), rt_s, residual
+    )
+    if (dist_new[residual] < 0).any():
+        v = np.flatnonzero(residual & (dist_new < 0))[0]
+        raise ProtocolError(
+            f"merged cluster ℓ'' = {int(hlabels[rt_s[v]]) + ab2} is "
+            f"disconnected"
+        )
+    label = np.where(residual, hlabels[rt_s] + ab2, label)
+    delta = np.where(residual, dist_new, delta)
+    return label, delta, residual
+
+
+def compute_clustering_vectorized(
+    graph: StaticGraph, b: int | None = None, validate: bool = True
+) -> ClusteringResult:
+    """Theorem 13 on the vectorized engine.
+
+    The drop-in array twin of
+    :func:`repro.core.theorem13.compute_clustering`: same assignments,
+    same validation, and metrics bit-identical to the simulator run.
+
+    Args:
+        graph: the network (connected, unique IDs in [1, id_space]).
+        b: override the paper's b = 2^{sqrt(log n)} (for ablations).
+        validate: check the clustering against Definition 4 and the
+            color bound before returning.
+
+    Returns:
+        :class:`~repro.core.theorem13.ClusteringResult` with the
+        clustering, the per-node assignments and the simulated metrics.
+    """
+    chosen_b = b if b is not None else default_b(graph.n)
+    with span("theorem13.vectorized", n=graph.n, b=chosen_b):
+        assignments, simulation, _ = _clustering_kernel(graph, chosen_b)
+        counters.add("sim.run")
+        counters.add("sim.messages", simulation.metrics.messages_sent)
+        counters.add("sim.rounds", simulation.metrics.active_rounds)
+    return _package(graph, assignments, simulation, chosen_b, validate)

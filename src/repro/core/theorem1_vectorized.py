@@ -1,0 +1,381 @@
+"""Vectorized Theorem 9 and Theorem 1 — the clustered pipeline in closed form.
+
+The simulator engine executes Theorem 9 (and the Theorem 13 + Theorem 9
+composition of Theorem 1) by dispatching one generator per node per
+round.  Both stages are lockstep/cast-shaped: every awake node runs the
+*same* small computation at rounds fixed in advance by the durations of
+:mod:`repro.core.cast` and :mod:`repro.core.virtual`.  This module
+replaces the dispatch with numpy kernels over the
+:class:`~repro.graphs.arrays.GraphArrays` CSR mirror:
+
+- **outputs** — the protocol's result equals the sequential greedy under
+  the paper's orientation µ_G, priority ``(γ(cluster), -δ, -ID)``
+  ascending (see :func:`repro.core.theorem9.theorem9_reference`).  The
+  greedy is evaluated as Kahn waves over the rank orientation of the CSR
+  (:func:`repro.model.vectorized.decide_by_priority`), each wave decided
+  by the problem's array kernel.
+- **accounting** — every awake round, message and termination round of
+  :func:`repro.core.theorem9.theorem9_protocol` is a closed-form
+  function of ``(γ, δ, deg, deg_intra, deg_foreign)``: the t9meta
+  exchange, the Lemma 6 rooting cast, and one virtual window per round
+  in ``{setup} ∪ r(γ)`` of the Lemma 10 schedule, each window costing 3
+  awake rounds for a root and 5 for a non-root.  The formulas are
+  evaluated with vectorized scatter/gather, and the results are
+  **bit-identical** to the :class:`~repro.model.simulator.SleepingSimulator`
+  run — the differential suite in ``tests/test_engine_equivalence.py``
+  is the gate.
+
+Per-node work is O(deg) plus O(log c) shared per distinct color, so the
+whole solve is O(n + m) array time — the headline pipeline at n = 10⁶.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.cast import bfs_cast_duration
+from repro.core.clustering import ColoredBFSClustering
+from repro.core.mapping import ColorScheduleMapping
+from repro.core.theorem9 import Theorem9Result, theorem9_duration
+from repro.errors import ProtocolError
+from repro.graphs.arrays import require_numpy, segment_sum, sorted_unique
+from repro.graphs.graph import StaticGraph
+from repro.model.metrics import SimulationMetrics
+from repro.model.simulator import SimulationResult
+from repro.model.vectorized import decide_by_priority
+from repro.obs import counters
+from repro.obs.spans import span
+from repro.olocal.problem import OLocalProblem
+from repro.types import NodeId
+
+
+def _member_offsets(np: Any, n: int, d: int) -> Any:
+    """Awake offsets of a depth-``d`` member inside one virtual window.
+
+    Offsets are relative to the window start (the exchange round): the
+    exchange itself, then the gather's convergecast receive/send and
+    broadcast receive/send rounds of :func:`repro.core.cast.gather_bfs`
+    with depth bound ``n``.  A root (``d == 0``) neither sends up nor
+    receives down, so it is awake 3 rounds; any other member 5.
+
+    Args:
+        np: the numpy module.
+        n: the graph size (= the cast depth bound).
+        d: the member's BFS depth δ within its cluster.
+
+    Returns:
+        int64 array of distinct in-window offsets.
+    """
+    if d == 0:
+        return np.array([0, n, n + 2], dtype=np.int64)
+    return np.array(
+        [0, n - d, n - d + 1, n + d + 1, n + d + 2], dtype=np.int64
+    )
+
+
+def _theorem9_closed_form(
+    ga: Any, colors: Any, dist: Any, palette: int, t0: int, n: int
+) -> tuple[Any, Any, Any, Any]:
+    """Exact per-node Theorem 9 accounting, without running any rounds.
+
+    Args:
+        ga: the graph's :class:`~repro.graphs.arrays.GraphArrays`.
+        colors: int64 per-slot cluster colors γ in ``[1, palette]``.
+        dist: int64 per-slot BFS depths δ.
+        palette: the common-knowledge palette size c.
+        t0: first round of the Theorem 9 window.
+        n: the graph size (the protocol's common-knowledge n).
+
+    Returns:
+        ``(awake, msgs, termination, active)`` — per-slot awake-round
+        counts, per-slot messages sent, per-slot termination rounds, and
+        the sorted array of distinct rounds in which any node is awake.
+    """
+    np = require_numpy()
+    mapping = ColorScheduleMapping.for_palette(palette)
+    window = 2 * n + 3  # one virtual round simulated (phase_duration)
+    vt0 = t0 + 1 + bfs_cast_duration(n)  # first virtual-window round
+    sched_len = mapping.schedule_length  # |r(c)|, the same for every c
+
+    # Same-color neighbors are same-cluster neighbors (Definition 4:
+    # same-color clusters are never adjacent).
+    same = colors[ga.flat] == colors[ga.edge_sources]
+    deg_intra = segment_sum(same.astype(np.int64), ga.offsets)
+    deg_foreign = ga.degrees - deg_intra
+    nonroot = (dist > 0).astype(np.int64)
+
+    # Per distinct color: the Lemma 10 schedule r(c), how many of its
+    # rounds are sending rounds (x >= phi(c)), and its last round.
+    distinct = sorted_unique(colors)
+    r_of = {int(c): mapping.r(int(c)) for c in distinct.tolist()}
+    send_of = np.array(
+        [
+            sum(1 for x in r_of[int(c)] if x >= mapping.phi(int(c)))
+            for c in distinct.tolist()
+        ],
+        dtype=np.int64,
+    )
+    last_of = np.array(
+        [r_of[int(c)][-1] for c in distinct.tolist()], dtype=np.int64
+    )
+    cidx = np.searchsorted(distinct, colors)
+
+    # awake: t9meta + rooting cast (1 round for a root, 2 otherwise) +
+    # one virtual window per round in {setup} ∪ r(γ).
+    awake = 1 + (1 + nonroot) + (1 + sched_len) * np.where(dist == 0, 3, 5)
+
+    # messages: t9meta broadcast (deg) + rooting broadcast (deg_intra) +
+    # the setup window (vsetup to every neighbor, then the gather's
+    # one-up-one-down: 1 to the parent if non-root, deg_intra down) +
+    # per calendar window x ∈ r(γ): the exchange out to every foreign
+    # neighbor iff x >= phi(γ), plus the same gather cost.
+    msgs = (
+        ga.degrees
+        + deg_intra
+        + (ga.degrees + nonroot + deg_intra)
+        + send_of[cidx] * deg_foreign
+        + sched_len * (nonroot + deg_intra)
+    )
+
+    # termination: the gather broadcast-send of the last scheduled
+    # window, offset n + δ + 2 into window max(r(γ)).
+    termination = vt0 + last_of[cidx] * window + n + dist + 2
+
+    # Active rounds: the rooting stage occupies [t0, t0 + n + 1], every
+    # virtual window starts at vt0 = t0 + n + 2 — disjoint, so the
+    # global set is the union over present (γ, δ) pairs, deduplicated.
+    chunks = [np.array([t0], dtype=np.int64)]
+    ddist = sorted_unique(dist)
+    chunks.append(t0 + ddist[ddist > 0])  # non-root cast receive rounds
+    chunks.append(t0 + 1 + ddist)  # cast send rounds (root: t0 + 1)
+    pair_key = colors * np.int64(n + 1) + dist  # δ <= n - 1 < n + 1
+    upairs = sorted_unique(pair_key)
+    pair_colors = upairs // (n + 1)
+    pair_dist = upairs % (n + 1)
+    for d in sorted_unique(pair_dist).tolist():
+        cs = pair_colors[pair_dist == d].tolist()
+        vrs = sorted_unique(
+            np.concatenate(
+                [np.zeros(1, dtype=np.int64)]
+                + [np.asarray(r_of[int(c)], dtype=np.int64) for c in cs]
+            )
+        )
+        offs = _member_offsets(np, n, int(d))
+        chunks.append((vt0 + vrs[:, None] * window + offs[None, :]).ravel())
+    active = sorted_unique(np.concatenate(chunks))
+    return awake, msgs, termination, active
+
+
+def _run_theorem9_kernel(
+    graph: StaticGraph,
+    problem: OLocalProblem,
+    node_inputs: Mapping[NodeId, Any],
+    colors: Mapping[NodeId, int],
+    dist: Mapping[NodeId, int],
+    palette: int,
+    t0: int,
+    columns: tuple[Any, Any] | None = None,
+) -> SimulationResult:
+    """Theorem 9 as array kernels: outputs plus closed-form metrics.
+
+    Args:
+        graph: the network.
+        problem: the O-LOCAL problem to solve.
+        node_inputs: per-node problem inputs.
+        colors: canonical cluster colors γ, in ``[1, palette]``.
+        dist: per-node BFS depths δ.
+        palette: the common-knowledge palette size c.
+        t0: first round of the Theorem 9 window.
+        columns: optional slot-ordered ``(color, dist)`` int64 columns
+            matching ``colors``/``dist`` — skips the per-node dict walk
+            when the caller already has the arrays (the Theorem 1 path).
+
+    Returns:
+        A :class:`SimulationResult` bit-identical to simulating
+        :func:`repro.core.theorem9.theorem9_protocol` from round ``t0``.
+    """
+    np = require_numpy()
+    metrics = SimulationMetrics()
+    if graph.n == 0:
+        return SimulationResult(outputs={}, metrics=metrics, graph=graph)
+    ga = graph.arrays
+    ids = ga.ids.tolist()
+    if columns is not None:
+        col, dlt = columns
+    else:
+        col = np.array([colors[v] for v in ids], dtype=np.int64)
+        dlt = np.array([dist[v] for v in ids], dtype=np.int64)
+    if int(col.min()) < 1 or int(col.max()) > palette:
+        bad = int(col.min()) if int(col.min()) < 1 else int(col.max())
+        raise ProtocolError(f"color {bad} outside palette [1, {palette}]")
+
+    with span("theorem9.decide", n=ga.n):
+        # The protocol's outcome is the sequential greedy under the
+        # orientation µ_G: priority (γ, -δ, -ID) ascending.  Slot order
+        # is ID order, so -arange encodes -ID.
+        order = np.lexsort((-np.arange(ga.n), -dlt, col))
+        rank = np.empty(ga.n, dtype=np.int64)
+        rank[order] = np.arange(ga.n)
+        decider = decide_by_priority(graph, problem, node_inputs, rank)
+
+    with span("theorem9.accounting", n=ga.n, palette=palette):
+        awake, msgs, termination, active = _theorem9_closed_form(
+            ga, col, dlt, palette, t0, graph.n
+        )
+        metrics.awake_rounds = dict(zip(ids, awake.tolist()))
+        metrics.termination_round = dict(zip(ids, termination.tolist()))
+        metrics.messages_sent = int(msgs.sum())
+        metrics.last_round = int(termination.max())
+        metrics.active_rounds = int(active.size)
+    return SimulationResult(
+        outputs=decider.outputs(), metrics=metrics, graph=graph
+    )
+
+
+def solve_with_clustering_vectorized(
+    graph: StaticGraph,
+    problem: OLocalProblem,
+    clustering: ColoredBFSClustering,
+    inputs: Mapping[NodeId, Any] | None = None,
+    palette: int | None = None,
+    validate: bool = True,
+) -> Theorem9Result:
+    """Run Theorem 9 end to end on the vectorized engine.
+
+    The drop-in array twin of
+    :func:`repro.core.theorem9.solve_with_clustering`: same
+    canonicalisation, same windows, bit-identical outputs and metrics.
+
+    Args:
+        graph: the network.
+        problem: any :class:`OLocalProblem`.
+        clustering: a colored BFS-clustering (γ, δ) of the graph.
+        inputs: optional per-node inputs (defaults to the problem's own).
+        palette: optionally widen the assumed color range c.
+        validate: check the solution before returning.
+
+    Returns:
+        :class:`Theorem9Result` with outputs, the simulated metrics and
+        the palette used.
+    """
+    canon = clustering.canonical()
+    c = palette if palette is not None else canon.max_color()
+    node_inputs = (
+        dict(inputs) if inputs is not None else problem.make_inputs(graph)
+    )
+    with span("theorem9.solve", n=graph.n, palette=c) as sp:
+        cast_end = 1 + bfs_cast_duration(graph.n)
+        sp.event(
+            "theorem9.windows",
+            cast_rounds=(1, cast_end),
+            calendar_rounds=(cast_end + 1, theorem9_duration(graph.n, c)),
+        )
+        result = _run_theorem9_kernel(
+            graph, problem, node_inputs, canon.color, canon.dist, c, t0=1
+        )
+        counters.add("sim.run")
+        counters.add("sim.messages", result.metrics.messages_sent)
+        counters.add("sim.rounds", result.metrics.active_rounds)
+    with span("theorem9.validate", n=graph.n):
+        if validate:
+            problem.check(graph, result.outputs, node_inputs)
+    return Theorem9Result(
+        outputs=result.outputs, simulation=result, palette=c
+    )
+
+
+def solve_vectorized(
+    graph: StaticGraph,
+    problem: OLocalProblem,
+    inputs: Mapping[NodeId, Any] | None = None,
+    b: int | None = None,
+    validate: bool = True,
+) -> "Theorem1Result":
+    """Solve an O-LOCAL problem on the vectorized engine (Theorem 1).
+
+    The drop-in array twin of :func:`repro.core.theorem1.solve`: the
+    Theorem 13 clustering runs through
+    :func:`repro.core.clustering_vectorized.compute_clustering_vectorized`,
+    the Theorem 9 stage through the closed-form kernel, and the two
+    stages compose by Lemma 8 — per-node awake/message counts add, the
+    termination rounds are the solver stage's, and the active-round sets
+    of the two reserved windows are disjoint.
+
+    Args:
+        graph: the network (connected, unique IDs in [1, id_space]).
+        problem: any :class:`OLocalProblem`.
+        inputs: optional per-node inputs (defaults to the problem's own).
+        b: override the paper's b = 2^{sqrt(log n)} (for ablations).
+        validate: check the solution and the clustering before returning.
+
+    Returns:
+        :class:`~repro.core.theorem1.Theorem1Result`, bit-identical to
+        the simulator engine's.
+    """
+    from repro.core.clustering_vectorized import _clustering_kernel
+    from repro.core.lemma15 import singleton_palette
+    from repro.core.theorem1 import Theorem1Result
+    from repro.core.theorem13 import (
+        color_palette_bound,
+        default_b,
+        theorem13_duration,
+    )
+
+    chosen_b = b if b is not None else default_b(graph.n)
+    node_inputs = (
+        dict(inputs) if inputs is not None else problem.make_inputs(graph)
+    )
+    with span("theorem1.vectorized", n=graph.n, b=chosen_b):
+        assignments, sim13, columns = _clustering_kernel(graph, chosen_b)
+        out_phase, out_gamma, out_dist = columns
+        np = require_numpy()
+        sp13 = singleton_palette(chosen_b)
+        col = (out_phase - 1) * np.int64(sp13) + out_gamma
+        ids = graph.arrays.ids.tolist()
+        colors = dict(zip(ids, col.tolist()))
+        dist = dict(zip(ids, out_dist.tolist()))
+        palette = color_palette_bound(graph.n, chosen_b)
+        t9_start = 1 + theorem13_duration(
+            graph.n, graph.id_space, chosen_b
+        )
+        sim9 = _run_theorem9_kernel(
+            graph, problem, node_inputs, colors, dist, palette,
+            t0=t9_start, columns=(col, out_dist),
+        )
+
+        metrics = SimulationMetrics()
+        metrics.awake_rounds = {
+            v: sim13.metrics.awake_rounds[v] + a
+            for v, a in sim9.metrics.awake_rounds.items()
+        }
+        metrics.termination_round = dict(sim9.metrics.termination_round)
+        metrics.messages_sent = (
+            sim13.metrics.messages_sent + sim9.metrics.messages_sent
+        )
+        metrics.active_rounds = (
+            sim13.metrics.active_rounds + sim9.metrics.active_rounds
+        )
+        metrics.last_round = sim9.metrics.last_round
+        composed = SimulationResult(
+            outputs={
+                v: (out, assignments[v]) for v, out in sim9.outputs.items()
+            },
+            metrics=metrics,
+            graph=graph,
+        )
+        counters.add("sim.run")
+        counters.add("sim.messages", metrics.messages_sent)
+        counters.add("sim.rounds", metrics.active_rounds)
+
+    outputs = dict(sim9.outputs)
+    clustering = ColoredBFSClustering(color=colors, dist=dist)
+    if validate:
+        clustering.validate(graph)
+        problem.check(graph, outputs, node_inputs)
+    return Theorem1Result(
+        outputs=outputs,
+        clustering=clustering,
+        simulation=composed,
+        b=chosen_b,
+        palette_bound=color_palette_bound(graph.n, chosen_b),
+    )

@@ -177,13 +177,24 @@ def _build_tree(n: int, seed: int, ids: IdAssignment | None) -> StaticGraph:
 @GRAPH_FAMILIES.register(
     "gnp",
     title="Erdős–Rényi G(n, p), connectivity-patched",
-    params={"p": "edge probability (default 0.15)"},
+    params={
+        "p": "edge probability (default 0.15)",
+        "method": (
+            "sampler: 'binomial' (default, walks all n² pairs) or 'fast' "
+            "(O(n + m) geometric skipping for mega-scale n; draws a "
+            "different graph for the same seed than 'binomial')"
+        ),
+    },
 )
 def _build_gnp(
-    n: int, seed: int, ids: IdAssignment | None, p: float = 0.15
+    n: int,
+    seed: int,
+    ids: IdAssignment | None,
+    p: float = 0.15,
+    method: str = "binomial",
 ) -> StaticGraph:
     """Seeded G(n, p) random graph."""
-    return gnp(n, p, seed=seed, ids=ids)
+    return gnp(n, p, seed=seed, ids=ids, method=method)
 
 
 @GRAPH_FAMILIES.register(

@@ -87,12 +87,32 @@ def barbell(clique: int, bridge: int, ids: IdAssignment | None = None) -> Static
 
 
 def gnp(
-    n: int, p: float, seed: int = 0, ids: IdAssignment | None = None
+    n: int,
+    p: float,
+    seed: int = 0,
+    ids: IdAssignment | None = None,
+    method: str = "binomial",
 ) -> StaticGraph:
     """Erdős–Rényi G(n, p), patched to be connected by linking components
-    along a deterministic spanning chain."""
+    along a deterministic spanning chain.
+
+    ``method`` selects the sampler: ``"binomial"`` (the default) walks
+    all n² pairs via :func:`nx.gnp_random_graph`; ``"fast"`` uses
+    :func:`nx.fast_gnp_random_graph`, which runs in O(n + m) expected
+    time and is the only practical choice at n ≈ 10^5–10^6. The two
+    samplers draw different graphs for the same seed — ``method="fast"``
+    deliberately breaks seed compatibility with the default in exchange
+    for scale.
+    """
     _require(n >= 1 and 0.0 <= p <= 1.0, "invalid gnp parameters")
-    g = nx.gnp_random_graph(n, p, seed=seed)
+    _require(
+        method in ("binomial", "fast"),
+        f"gnp method must be 'binomial' or 'fast', got {method!r}",
+    )
+    if method == "fast":
+        g = nx.fast_gnp_random_graph(n, p, seed=seed)
+    else:
+        g = nx.gnp_random_graph(n, p, seed=seed)
     _connect(g, seed)
     return StaticGraph.from_networkx(g, ids)
 

@@ -50,7 +50,12 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
-from repro.graphs.arrays import ragged_gather, require_numpy, segment_any
+from repro.graphs.arrays import (
+    ragged_gather,
+    require_numpy,
+    segment_any,
+    sorted_unique,
+)
 from repro.graphs.graph import StaticGraph
 from repro.model.metrics import SimulationMetrics
 from repro.model.simulator import SimulationResult
@@ -256,6 +261,60 @@ def make_wave_decider(
     return kernel(graph, problem, node_inputs)
 
 
+def decide_by_priority(
+    graph: StaticGraph,
+    problem: OLocalProblem,
+    node_inputs: Mapping[NodeId, Any],
+    rank: Any,
+) -> _WaveDecider:
+    """Run the greedy decision process in ``rank`` order, as Kahn waves.
+
+    ``rank`` is a per-slot permutation of ``0..n-1``; the decisions are
+    bit-identical to a sequential greedy pass visiting slots by
+    ascending rank (the Theorem 9 priority order ``(color, -dist,
+    -ID)``, say). Waves peel the rank orientation of the CSR exactly
+    like :func:`greedy_by_id_vectorized` peels the ID orientation: a
+    wave is an independent set whose decided neighbors are precisely
+    its smaller-rank neighbors, so each wave decides in one batched
+    kernel regardless of within-wave order.
+
+    Args:
+        graph: the substrate graph (its CSR mirror is used).
+        problem: the O-LOCAL problem whose greedy rule decides nodes.
+        node_inputs: per-node problem inputs, keyed by node ID.
+        rank: int64 array of shape ``(n,)``; ``rank[s]`` is slot s's
+            position in the sequential decision order.
+
+    Returns:
+        The finished :class:`_WaveDecider`; call ``outputs()`` for the
+        per-node results.
+    """
+    np = require_numpy()
+    from repro.graphs.arrays import segment_sum
+
+    ga = graph.arrays
+    decider = make_wave_decider(graph, problem, node_inputs)
+    if ga.n == 0:
+        return decider
+    # The rank-up CSR: per slot, its neighbors of strictly larger rank.
+    mask = rank[ga.flat] > rank[ga.edge_sources]
+    up_counts = segment_sum(mask.astype(np.int64), ga.offsets)
+    up_offsets = np.empty(ga.n + 1, dtype=np.int64)
+    up_offsets[0] = 0
+    np.cumsum(up_counts, out=up_offsets[1:])
+    up_flat = ga.flat[mask]
+
+    remaining = ga.degrees - up_counts  # undecided smaller-rank neighbors
+    ready = np.flatnonzero(remaining == 0)
+    while ready.size:
+        decider.decide_wave(ready)
+        targets, _ = ragged_gather(up_offsets, up_flat, ready)
+        np.subtract.at(remaining, targets, 1)
+        candidates = sorted_unique(targets)
+        ready = candidates[remaining[candidates] == 0]
+    return decider
+
+
 # ---------------------------------------------------------------------------
 # The vectorized greedy-by-ID lockstep engine.
 # ---------------------------------------------------------------------------
@@ -298,7 +357,7 @@ def greedy_by_id_vectorized(
             # so the whole loop is O(E) regardless of the wave count.
             targets, _ = ragged_gather(up_offsets, up_flat, ready)
             np.subtract.at(remaining, targets, 1)
-            candidates = np.unique(targets)
+            candidates = sorted_unique(targets)
             ready = candidates[remaining[candidates] == 0]
 
     with span("vectorized.accounting", n=ga.n, waves=wave):

@@ -165,7 +165,7 @@ class TestCommands:
     def test_unsupported_engine_rejected(self):
         with pytest.raises(SystemExit, match="does not support engine"):
             main(["solve", "--family", "path", "--n", "8",
-                  "--algorithm", "theorem1", "--engine", "vectorized"])
+                  "--algorithm", "theorem1", "--engine", "reference"])
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(SystemExit, match="unknown engine"):

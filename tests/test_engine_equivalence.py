@@ -353,3 +353,121 @@ def test_vectorized_baseline_bit_identical(gname, factory, pname, problem):
     ref = solve_with_baseline(g, problem)
     assert vec.palette == ref.palette
     assert_results_identical(vec.simulation, ref.simulation)
+
+
+# -- the clustered pipeline: Theorem 13 / Theorem 9 / Theorem 1 ---------------
+#
+# The headline-pipeline kernels replay a *composition* of protocols
+# (Linial reductions, BFS casts, the virtual-graph calendar), so beyond
+# outputs the per-node schedules — awake_rounds, termination_round and
+# the full summary() including active_rounds and messages_sent — must be
+# bit-identical to the per-node simulator.
+
+
+def test_vectorized_clustering_bit_identical():
+    from repro.core.clustering_vectorized import compute_clustering_vectorized
+    from repro.core.theorem13 import compute_clustering
+
+    for gname, factory in VEC_GRAPHS:
+        g = factory()
+        vec = compute_clustering_vectorized(g)
+        ref = compute_clustering(g)
+        assert vec.clustering.color == ref.clustering.color, gname
+        assert vec.clustering.dist == ref.clustering.dist, gname
+        assert vec.assignments == ref.assignments, gname
+        assert_results_identical(vec.simulation, ref.simulation)
+
+
+@pytest.mark.parametrize("b", [1, 2, 8])
+def test_vectorized_clustering_b_ablations_bit_identical(b):
+    """b = 1 forces heavy multi-phase residual merging; b = 8 makes every
+    cluster a singleton in phase one — both ends of Lemma 14/15."""
+    from repro.core.clustering_vectorized import compute_clustering_vectorized
+    from repro.core.theorem13 import compute_clustering
+
+    g = gnp(60, 0.1, seed=2)
+    vec = compute_clustering_vectorized(g, b=b)
+    ref = compute_clustering(g, b=b)
+    assert vec.assignments == ref.assignments
+    assert_results_identical(vec.simulation, ref.simulation)
+
+
+@pytest.mark.parametrize("gname,factory", VEC_GRAPHS)
+@pytest.mark.parametrize("pname", ["mis", "coloring"])
+def test_vectorized_theorem1_bit_identical(gname, factory, pname):
+    from repro.core import theorem1
+    from repro.core.theorem1_vectorized import solve_vectorized
+    from repro.olocal import PROBLEMS
+
+    problem = PROBLEMS.get(pname)
+    g = factory()
+    vec = solve_vectorized(g, problem)
+    ref = theorem1.solve(g, problem)
+    assert vec.outputs == ref.outputs
+    assert vec.clustering.color == ref.clustering.color
+    assert vec.clustering.dist == ref.clustering.dist
+    assert_results_identical(vec.simulation, ref.simulation)
+
+
+@pytest.mark.parametrize("pname,problem", all_problems())
+def test_vectorized_theorem1_all_problems_bit_identical(pname, problem):
+    from repro.core import theorem1
+    from repro.core.theorem1_vectorized import solve_vectorized
+
+    g = gnp(40, 0.15, seed=5)
+    vec = solve_vectorized(g, problem)
+    ref = theorem1.solve(g, problem)
+    assert vec.outputs == ref.outputs
+    assert_results_identical(vec.simulation, ref.simulation)
+
+
+@pytest.mark.parametrize("seed", [5, 11])
+def test_vectorized_theorem1_across_seeds(seed):
+    from repro.core import theorem1
+    from repro.core.theorem1_vectorized import solve_vectorized
+    from repro.olocal import PROBLEMS
+
+    g = gnp(44, 0.12, seed=seed)
+    problem = PROBLEMS.get("mis")
+    vec = solve_vectorized(g, problem)
+    ref = theorem1.solve(g, problem)
+    assert vec.outputs == ref.outputs
+    assert_results_identical(vec.simulation, ref.simulation)
+
+
+@pytest.mark.parametrize("gname,factory", VEC_GRAPHS)
+@pytest.mark.parametrize("pname,problem", all_problems())
+def test_vectorized_theorem9_bit_identical(gname, factory, pname, problem):
+    """Theorem 9 alone, both engines fed the same precomputed
+    clustering — isolates the solver-stage kernel from Theorem 13."""
+    from repro.core.theorem9 import solve_with_clustering
+    from repro.core.theorem1_vectorized import solve_with_clustering_vectorized
+    from repro.core.theorem13 import compute_clustering
+
+    g = factory()
+    clustering = compute_clustering(g).clustering
+    vec = solve_with_clustering_vectorized(g, problem, clustering)
+    ref = solve_with_clustering(g, problem, clustering)
+    assert vec.palette == ref.palette
+    assert vec.outputs == ref.outputs
+    assert_results_identical(vec.simulation, ref.simulation)
+
+
+def test_vectorized_theorem9_singleton_clusters_bit_identical():
+    """All-singleton clustering (every node its own cluster, δ = 0) —
+    the degenerate calendar where every node is a root."""
+    from repro.core.clustering import ColoredBFSClustering
+    from repro.core.theorem9 import solve_with_clustering
+    from repro.core.theorem1_vectorized import solve_with_clustering_vectorized
+    from repro.olocal import MaximalIndependentSet
+
+    g = gnp(30, 0.2, seed=8)
+    clustering = ColoredBFSClustering(
+        color={v: i + 1 for i, v in enumerate(g.nodes)},
+        dist={v: 0 for v in g.nodes},
+    )
+    problem = MaximalIndependentSet()
+    vec = solve_with_clustering_vectorized(g, problem, clustering)
+    ref = solve_with_clustering(g, problem, clustering)
+    assert vec.outputs == ref.outputs
+    assert_results_identical(vec.simulation, ref.simulation)

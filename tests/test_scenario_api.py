@@ -69,7 +69,7 @@ class TestValidation:
             ({"ids": "weird"}, "unknown id scheme"),
             ({"n": 0}, "n must be >= 1"),
             ({"params": {"zap": 1}}, "unknown scenario param"),
-            ({"algorithm": "theorem1", "engine": "vectorized"},
+            ({"algorithm": "theorem1", "engine": "reference"},
              "does not support engine"),
             ({"algorithm": "greedy", "engine": "warp"},
              "unknown engine"),

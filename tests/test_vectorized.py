@@ -22,8 +22,23 @@ VECTORIZED_ADAPTERS = sorted(
 )
 
 
-def test_vectorized_adapters_cover_greedy_and_baseline():
-    assert VECTORIZED_ADAPTERS == ["baseline", "greedy"]
+def test_vectorized_adapters_cover_all_four_algorithms():
+    assert VECTORIZED_ADAPTERS == [
+        "baseline", "greedy", "theorem1", "theorem9",
+    ]
+
+
+def test_catalog_engine_matrix_matches_adapters():
+    """api.catalog() must reflect adapter engine support automatically —
+    a future adapter cannot silently drift from the catalog."""
+    from repro.api import catalog
+
+    matrix = catalog()["engine_matrix"]
+    assert set(matrix) == set(ALGORITHMS.names())
+    for name, engines in matrix.items():
+        assert tuple(engines) == ALGORITHMS.get(name).engines, name
+    for name in ("theorem1", "theorem9"):
+        assert ENGINE_VECTORIZED in matrix[name]
 
 
 def _solve_both(algorithm, graph, problem):
@@ -61,8 +76,12 @@ def test_vectorized_matches_default_engine(algorithm, pname, family, n, seed):
 
     The greedy adapter's default is the ``reference`` oracle, whose
     metrics model differs by design — compare against ``simulator``
-    there instead.
+    there instead. The clustered adapters run the full Theorem 13 + 9
+    pipeline per node on the simulator side, so their graphs shrink to
+    keep the differential CI-sized.
     """
+    if algorithm in ("theorem1", "theorem9"):
+        n = max(40, n // 4)
     graph = build_family_graph(family, n, seed=seed)
     problem = PROBLEMS.get(pname)
     adapter = ALGORITHMS.get(algorithm)
@@ -104,9 +123,9 @@ class TestEngineValidation:
     def test_unsupported_engine_lists_adapter_engines(self):
         adapter = ALGORITHMS.get("theorem1")
         with pytest.raises(UnknownNameError) as exc:
-            adapter.validate_engine("vectorized")
+            adapter.validate_engine("reference")
         message = str(exc.value)
-        assert "'theorem1' does not support engine 'vectorized'" in message
+        assert "'theorem1' does not support engine 'reference'" in message
         for engine in adapter.engines:
             assert engine in message
 
@@ -121,7 +140,7 @@ class TestEngineValidation:
         graph = build_family_graph("path", 6, seed=0)
         with pytest.raises(UnknownNameError, match="does not support"):
             ALGORITHMS.get("theorem9").solve(
-                graph, PROBLEMS.get("mis"), engine="vectorized"
+                graph, PROBLEMS.get("mis"), engine="reference"
             )
 
     def test_scenario_surfaces_engine_errors(self):
@@ -129,7 +148,7 @@ class TestEngineValidation:
 
         errors = Scenario(algorithm="greedy", engine="warp").validate()
         assert any("unknown engine 'warp'" in e for e in errors)
-        errors = Scenario(algorithm="theorem1", engine="vectorized").validate()
+        errors = Scenario(algorithm="theorem1", engine="reference").validate()
         assert any("does not support engine" in e for e in errors)
 
 
@@ -158,6 +177,29 @@ class TestEngineAxis:
         # Same derived seed → same graph → identical metrics: the axis
         # is a built-in differential test.
         assert by_engine["simulator"][:-1] == by_engine["vectorized"][:-1]
+
+    def test_engine_axis_covers_clustered_pipeline(self):
+        """The --engines differential smoke for the headline pipeline:
+        same derived seed → identical metric rows per engine, for both
+        clustered adapters."""
+        from repro.api import run_grid
+
+        result = run_grid(
+            families=["gnp"],
+            sizes=[40],
+            problems=["mis"],
+            algorithms=["theorem1", "theorem9"],
+            engines=["simulator", "vectorized"],
+        )
+        grid = result.experiments()["GRID"]
+        algo_col = grid.headers.index("algorithm")
+        for algorithm in ("theorem1", "theorem9"):
+            rows = {
+                row[-1]: row for row in grid.rows
+                if row[algo_col] == algorithm
+            }
+            assert set(rows) == {"simulator", "vectorized"}
+            assert rows["simulator"][:-1] == rows["vectorized"][:-1]
 
     def test_no_axis_keeps_plain_headers(self):
         grid = self.run_grid().experiments()["GRID"]
@@ -189,7 +231,7 @@ class TestEngineAxis:
         with pytest.raises(KeyError, match="does not support"):
             sweep_from_grid(
                 families=["gnp"], sizes=[16], problems=["mis"],
-                algorithms=["theorem1"], engines=["vectorized"],
+                algorithms=["theorem1"], engines=["reference"],
             )
 
     def test_engines_axis_rejects_fault_axis(self):
