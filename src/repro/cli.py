@@ -435,11 +435,31 @@ def cmd_stats(args: argparse.Namespace) -> int:
     """``repro stats``: summarize sweep artifacts and the bench history."""
     import json
 
-    from repro.obs.render import render_bench_history, render_stats
+    from repro.obs.render import (
+        render_bench_history,
+        render_bench_rows,
+        render_stats,
+    )
 
     shown = 0
     if args.bench:
-        print(render_bench_history(args.bench_history))
+        if args.store is not None:
+            # Same renderer, rows from the ingested store: the file and
+            # the store must produce identical trend output (tested).
+            from repro.serve.store import ResultStore, StoreError
+
+            try:
+                store = ResultStore(args.store, readonly=True)
+            except StoreError as exc:
+                raise SystemExit(str(exc)) from exc
+            try:
+                source = store.bench_source()
+                label = source["path"] if source else args.store
+                print(render_bench_rows(store.bench_rows(), label))
+            finally:
+                store.close()
+        else:
+            print(render_bench_history(args.bench_history))
         shown += 1
     for path in args.files:
         with open(path, encoding="utf-8") as fh:
@@ -452,6 +472,83 @@ def cmd_stats(args: argparse.Namespace) -> int:
         raise SystemExit(
             "repro stats: pass SWEEP_*.json artifacts and/or --bench"
         )
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """``repro ingest``: index result files into a sqlite result store.
+
+    Idempotent (re-ingesting the same bytes is a "no-op" line) and
+    fail-open (corrupt or unrecognized files print a warning on stderr
+    and are skipped — the exit code stays 0, matching the trial cache's
+    corrupt-record convention).
+    """
+    from repro.serve.store import ResultStore, StoreError
+
+    try:
+        store = ResultStore(args.store)
+    except StoreError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        for result in store.ingest_many(args.paths):
+            stream = sys.stdout if result.ok else sys.stderr
+            print(result.render(), file=stream)
+        counts = store.counts()
+    finally:
+        store.close()
+    print(
+        f"store {args.store}: {counts['artifacts']} artifact(s), "
+        f"{counts['trials']} trial(s), {counts['sweep_tables']} table(s), "
+        f"{counts['bench_rows']} bench row(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the results/provenance HTTP service.
+
+    Binds (``--port 0`` = ephemeral; the actual port goes to stdout and
+    ``--port-file``), optionally ingests files first, then serves until
+    interrupted or a ``POST /shutdown`` arrives.
+    """
+    import time
+
+    from repro.runner.cache import TrialCache
+    from repro.serve.service import ReproService
+    from repro.serve.store import ResultStore, StoreError
+
+    try:
+        store = ResultStore(args.store, readonly=args.readonly)
+    except StoreError as exc:
+        raise SystemExit(str(exc)) from exc
+    service = ReproService(
+        store,
+        cache=TrialCache(args.cache_dir),
+        readonly=args.readonly,
+        artifact_dir=args.artifact_dir,
+    )
+    if args.ingest:
+        for result in store.ingest_many(args.ingest):
+            print(result.render(), file=sys.stderr)
+    server = service.start(port=args.port, host=args.host)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"(store {args.store}{', readonly' if args.readonly else ''})",
+          file=sys.stderr)
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{port}\n")
+    try:
+        # service.stop() (triggered by POST /shutdown, or by Ctrl-C
+        # below) clears _server; poll it so shutdown unblocks this loop.
+        while service._server is not None:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        service.stop()
+    finally:
+        store.close()
     return 0
 
 
@@ -711,7 +808,67 @@ def make_parser() -> argparse.ArgumentParser:
         "--bench-history", default="BENCH_history.jsonl",
         help="bench history file (appended by benchmarks/bench_engine.py)",
     )
+    stats_p.add_argument(
+        "--store", default=None, metavar="DB",
+        help="with --bench: read the trajectory from an ingested result "
+        "store (`repro ingest`) instead of the history file — the "
+        "rendering is identical",
+    )
     stats_p.set_defaults(func=cmd_stats)
+
+    ingest_p = sub.add_parser(
+        "ingest",
+        help="index SWEEP_*.json / journals / BENCH_history.jsonl into a "
+        "sqlite result store (idempotent; corrupt files skip with a "
+        "warning)",
+    )
+    ingest_p.add_argument(
+        "paths", nargs="+", metavar="FILE",
+        help="result files to ingest (kind is detected from content)",
+    )
+    ingest_p.add_argument(
+        "--store", default="RESULTS.db",
+        help="sqlite result store path (created if missing)",
+    )
+    ingest_p.set_defaults(func=cmd_ingest)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve results, provenance, and sweep submission over HTTP "
+        "(endpoint table in docs/SERVICE.md)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port (0 = ephemeral; see --port-file)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--store", default="RESULTS.db",
+        help="sqlite result store to serve (see `repro ingest`)",
+    )
+    serve_p.add_argument(
+        "--readonly", action="store_true",
+        help="refuse every mutation: POST /sweeps and /ingest return "
+        "403, /solve serves warm cache hits only (misses return 409)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="trial cache behind GET /solve (shared with sweep/report)",
+    )
+    serve_p.add_argument(
+        "--artifact-dir", default=None,
+        help="where submitted sweeps write SWEEP_*.json (default: the "
+        "store's directory)",
+    )
+    serve_p.add_argument(
+        "--ingest", nargs="*", default=[], metavar="FILE",
+        help="ingest these files before serving",
+    )
+    serve_p.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening (for --port 0)",
+    )
+    serve_p.set_defaults(func=cmd_serve)
 
     return parser
 

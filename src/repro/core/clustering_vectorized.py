@@ -673,8 +673,151 @@ def compute_clustering_vectorized(
     """
     chosen_b = b if b is not None else default_b(graph.n)
     with span("theorem13.vectorized", n=graph.n, b=chosen_b):
-        assignments, simulation, _ = _clustering_kernel(graph, chosen_b)
+        assignments, simulation, columns = _clustering_kernel(graph, chosen_b)
         counters.add("sim.run")
         counters.add("sim.messages", simulation.metrics.messages_sent)
         counters.add("sim.rounds", simulation.metrics.active_rounds)
-    return _package(graph, assignments, simulation, chosen_b, validate)
+        # Definition 4 is checked on the kernel's own columns (array
+        # validation, ~BFS cost) instead of _package's per-node Python
+        # walk — same acceptance, same error taxonomy, differentially
+        # tested in tests/test_clustering_validation.py.
+        result = _package(graph, assignments, simulation, chosen_b, False)
+        if validate:
+            np = require_numpy()
+            out_phase, out_gamma, out_dist = columns
+            sp = singleton_palette(chosen_b)
+            col = (out_phase - 1) * np.int64(sp) + out_gamma
+            validate_clustering_arrays(graph, col, out_dist)
+            bound = result.palette_bound
+            max_color = int(col.max()) if col.size else 0
+            if max_color > bound:
+                raise ProtocolError(
+                    f"used color {max_color} exceeds the bound {bound}"
+                )
+    return result
+
+
+def validate_clustering_arrays(graph: StaticGraph, color: Any, dist: Any) -> None:
+    """Check Definition 4 with whole-graph array kernels.
+
+    The drop-in twin of
+    :meth:`repro.core.clustering.ColoredBFSClustering.validate` for
+    clusterings already in columnar form: every connected component of
+    every color class must contain exactly one root (δ = 0) and carry
+    the exact induced BFS distances from it. Disconnected color classes
+    are legal (each connected component is its own cluster), exactly as
+    in the per-node validator.
+
+    Components are found by scatter-min label propagation with pointer
+    doubling (O((n + m)·log n) array work); depths by one multi-source
+    masked BFS — versus the per-node validator's Python walk, which
+    costs about twice the clustering kernel itself at n = 2¹⁷.
+
+    Args:
+        graph: the network the clustering lives on.
+        color: int64 per-slot colors, in :attr:`GraphArrays.ids` order.
+        dist: int64 per-slot root distances (δ), same order.
+
+    Raises:
+        ClusteringError: on any Definition 4 violation, with the same
+            message vocabulary as the per-node validator.
+    """
+    from repro.core.clustering import ClusteringError
+
+    np = require_numpy()
+    ga = graph.arrays
+    n = len(ga.ids)
+    if len(color) != n:
+        raise ClusteringError("coloring does not cover exactly the node set")
+    if len(dist) != n:
+        raise ClusteringError("dist does not cover exactly the node set")
+    if n == 0:
+        return
+    color = np.asarray(color, dtype=np.int64)
+    dist = np.asarray(dist, dtype=np.int64)
+
+    # Connected components of each color class: iterate scatter-min of
+    # neighbor labels over monochromatic edges + full path compression
+    # until a fixpoint; every slot ends labeled with the smallest slot
+    # index of its component.
+    esrc = ga.edge_sources
+    edst = ga.flat
+    mono = color[esrc] == color[edst]
+    msrc = esrc[mono]
+    mdst = edst[mono]
+    comp = np.arange(n, dtype=np.int64)
+    while True:
+        prev = comp.copy()
+        np.minimum.at(comp, mdst, comp[msrc])
+        np.minimum.at(comp, msrc, comp[mdst])
+        while True:
+            hopped = comp[comp]
+            if np.array_equal(hopped, comp):
+                break
+            comp = hopped
+        if np.array_equal(comp, prev):
+            break
+
+    # Exactly one root (δ = 0) per component.
+    roots = dist == 0
+    root_count = np.bincount(comp[roots], minlength=n)
+    labels = sorted_unique(comp)
+    bad = labels[root_count[labels] != 1]
+    if bad.size:
+        slot = int(bad[0])
+        raise ClusteringError(
+            f"color {int(color[slot])!r} component has "
+            f"{int(root_count[slot])} roots (δ=0 nodes); expected exactly 1"
+        )
+
+    # δ must be the induced BFS distance from the component's root: one
+    # multi-source wave, each root flooding only its own component.
+    depth = _masked_bfs(
+        np, ga.offsets, ga.flat, np.flatnonzero(roots), comp,
+        np.ones(n, dtype=bool),
+    )
+    mismatch = np.flatnonzero(depth != dist)
+    if mismatch.size:
+        slot = int(mismatch[0])
+        root_slot = int(np.flatnonzero(roots & (comp == comp[slot]))[0])
+        raise ClusteringError(
+            f"color {int(color[slot])!r} component: δ({int(ga.ids[slot])}) "
+            f"= {int(dist[slot])} but induced BFS distance from root "
+            f"{int(ga.ids[root_slot])} is {int(depth[slot])}"
+        )
+
+
+def validate_clustering_vectorized(graph: StaticGraph, clustering: Any) -> None:
+    """Array-validate a dict-form :class:`ColoredBFSClustering`.
+
+    Converts the clustering's ``color``/``dist`` maps to columnar form
+    and dispatches to :func:`validate_clustering_arrays`; non-integer
+    palettes (which the array kernels cannot represent) fall back to the
+    per-node :meth:`~repro.core.clustering.ColoredBFSClustering.validate`.
+    Coverage mismatches raise before any conversion, with the per-node
+    validator's messages.
+
+    Args:
+        graph: the network the clustering lives on.
+        clustering: a :class:`~repro.core.clustering.ColoredBFSClustering`.
+
+    Raises:
+        ClusteringError: on any Definition 4 violation.
+    """
+    from repro.core.clustering import ClusteringError
+
+    np = require_numpy()
+    if set(clustering.color) != graph.node_set:
+        raise ClusteringError("coloring does not cover exactly the node set")
+    if set(clustering.dist) != set(clustering.color):
+        raise ClusteringError("dist does not cover exactly the node set")
+    if not all(
+        isinstance(c, int) and not isinstance(c, bool)
+        for c in clustering.color.values()
+    ):
+        clustering.validate(graph)
+        return
+    ids = graph.arrays.ids.tolist()
+    color = np.array([clustering.color[v] for v in ids], dtype=np.int64)
+    dist = np.array([clustering.dist[v] for v in ids], dtype=np.int64)
+    validate_clustering_arrays(graph, color, dist)

@@ -370,7 +370,15 @@ def solve_vectorized(
     outputs = dict(sim9.outputs)
     clustering = ColoredBFSClustering(color=colors, dist=dist)
     if validate:
-        clustering.validate(graph)
+        # Definition 4 on the kernel's own columns — the array twin of
+        # clustering.validate(graph), ~BFS cost instead of a per-node
+        # Python walk (lazy import: clustering_vectorized imports from
+        # this module).
+        from repro.core.clustering_vectorized import (
+            validate_clustering_arrays,
+        )
+
+        validate_clustering_arrays(graph, col, out_dist)
         problem.check(graph, outputs, node_inputs)
     return Theorem1Result(
         outputs=outputs,

@@ -256,11 +256,20 @@ def load_bench_history(path: str | Path) -> list[dict[str, Any]]:
 
 def render_bench_history(path: str | Path) -> str:
     """The benchmark trajectory: one line per recorded run."""
-    rows = load_bench_history(path)
+    return render_bench_rows(load_bench_history(path), path)
+
+
+def render_bench_rows(rows: list[dict[str, Any]], source: str | Path) -> str:
+    """Render already-loaded bench rows, labeled with their source.
+
+    Shared by the file path (``repro stats --bench``) and the result
+    store (``--store`` / ``GET /bench``): both must produce the
+    identical trend rendering for the same rows.
+    """
     if not rows:
-        return f"{path}: no benchmark history rows"
+        return f"{source}: no benchmark history rows"
     lines = [
-        f"benchmark history: {path} — {len(rows)} run(s)",
+        f"benchmark history: {source} — {len(rows)} run(s)",
         f"  {'date':<20} {'mode':<6} {'cases':>5} {'geomean':>9} "
         f"{'worst case':>10}",
     ]

@@ -1,0 +1,158 @@
+"""Provenance DAG over the result store: scenario → trial → artifact → output.
+
+Every number the service hands out is an edge away from the exact
+inputs that produced it. :func:`provenance` reconstructs that chain for
+one trial from the ingested tables alone — no re-reading the original
+files — and renders it as plain JSON:
+
+- ``scenario`` nodes: the grid coordinates (family, n, problem,
+  algorithm, trial, engine/faults when present) parsed from the trial's
+  label, plus the derived per-trial seed;
+- ``trial`` nodes: the ingested trial row (index, kind, key, label,
+  seconds, worker, cached/resumed flags);
+- ``artifact`` nodes: the content-addressed file the trial was ingested
+  from (digest, path, kind), plus any journals that checkpointed the
+  same sweep;
+- ``output`` nodes: the sweep's report tables and, for bench-history
+  artifacts, trend rows.
+
+Edges always point from producer to product (``scenario → trial →
+artifact → output``), so walking forward answers "what did this
+scenario produce" and walking the reversed edges answers "where did
+this table's numbers come from".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.serve.store import ResultStore
+
+
+def _node(nodes: list[dict[str, Any]], seen: set[str], node_id: str,
+          kind: str, **attrs: Any) -> str:
+    if node_id not in seen:
+        seen.add(node_id)
+        nodes.append({"id": node_id, "kind": kind, **attrs})
+    return node_id
+
+
+def provenance(store: ResultStore, trial_ref: str) -> dict[str, Any] | None:
+    """The full provenance chain of one ingested trial, as a JSON DAG.
+
+    Args:
+        store: the result store to resolve against.
+        trial_ref: a trial id (:func:`repro.serve.store.served_trial_id`)
+            or an exact trial label.
+
+    Returns:
+        ``{"root": trial_id, "nodes": [...], "edges": [...]}`` with
+        nodes/edges as described in the module docstring, or ``None``
+        when the trial is unknown.
+    """
+    trial = store.trial(trial_ref)
+    if trial is None:
+        return None
+    nodes: list[dict[str, Any]] = []
+    edges: list[dict[str, str]] = []
+    seen: set[str] = set()
+
+    trial_id = _node(
+        nodes, seen, trial["trial_id"], "trial",
+        index=trial["idx"], kind_of_trial=trial["kind"], key=trial["key"],
+        label=trial["label"], seed=trial["seed"], seconds=trial["seconds"],
+        worker=trial["worker"], cached=trial["cached"],
+        resumed=trial["resumed"],
+    )
+
+    if trial["scenario"] is not None:
+        scenario_id = _node(
+            nodes, seen, f"scenario:{trial['label']}", "scenario",
+            **trial["scenario"],
+        )
+        edges.append({"from": scenario_id, "to": trial_id})
+
+    digest = trial["artifact_digest"]
+    sweep = store.sweep(digest)
+    artifact_attrs: dict[str, Any] = {"digest": digest}
+    if sweep is not None:
+        artifact_attrs.update(
+            path=sweep["path"], sweep=sweep["name"],
+            master_seed=sweep["master_seed"], num_trials=sweep["num_trials"],
+            partial=bool(sweep["partial"]),
+        )
+    artifact_id = _node(
+        nodes, seen, f"artifact:{digest}", "artifact", **artifact_attrs
+    )
+    edges.append({"from": trial_id, "to": artifact_id})
+
+    if sweep is not None:
+        for journal in store.journals_for(sweep["name"]):
+            journal_id = _node(
+                nodes, seen, f"artifact:{journal['artifact_digest']}",
+                "artifact", digest=journal["artifact_digest"],
+                journal_of=journal["sweep_name"], entries=journal["entries"],
+                salt=journal["salt"],
+            )
+            edges.append({"from": journal_id, "to": artifact_id})
+        for table in sweep["tables"]:
+            table_id = _node(
+                nodes, seen, f"table:{digest}:{table['exp_id']}", "output",
+                exp_id=table["exp_id"], title=table["title"],
+            )
+            edges.append({"from": artifact_id, "to": table_id})
+
+    return {"root": trial_id, "nodes": nodes, "edges": edges}
+
+
+def sweep_dag(store: ResultStore, digest: str) -> dict[str, Any] | None:
+    """The provenance DAG of one whole ingested sweep artifact.
+
+    Same node/edge vocabulary as :func:`provenance`, rooted at the
+    artifact: every trial's scenario chain plus every output table, in
+    one graph. Returns ``None`` for an unknown digest.
+    """
+    sweep = store.sweep(digest)
+    if sweep is None:
+        return None
+    nodes: list[dict[str, Any]] = []
+    edges: list[dict[str, str]] = []
+    seen: set[str] = set()
+
+    artifact_id = _node(
+        nodes, seen, f"artifact:{digest}", "artifact", digest=digest,
+        path=sweep["path"], sweep=sweep["name"],
+        master_seed=sweep["master_seed"], num_trials=sweep["num_trials"],
+        partial=bool(sweep["partial"]),
+    )
+    for trial in store.trials_of(digest):
+        trial_id = _node(
+            nodes, seen, trial["trial_id"], "trial",
+            index=trial["idx"], kind_of_trial=trial["kind"],
+            key=trial["key"], label=trial["label"], seed=trial["seed"],
+            seconds=trial["seconds"], cached=trial["cached"],
+            resumed=trial["resumed"],
+        )
+        if trial["scenario"] is not None:
+            scenario_id = _node(
+                nodes, seen, f"scenario:{trial['label']}", "scenario",
+                **trial["scenario"],
+            )
+            edges.append({"from": scenario_id, "to": trial_id})
+        edges.append({"from": trial_id, "to": artifact_id})
+    for journal in store.journals_for(sweep["name"]):
+        journal_id = _node(
+            nodes, seen, f"artifact:{journal['artifact_digest']}", "artifact",
+            digest=journal["artifact_digest"],
+            journal_of=journal["sweep_name"], entries=journal["entries"],
+            salt=journal["salt"],
+        )
+        edges.append({"from": journal_id, "to": artifact_id})
+    for table in sweep["tables"]:
+        table_id = _node(
+            nodes, seen, f"table:{digest}:{table['exp_id']}", "output",
+            exp_id=table["exp_id"], title=table["title"],
+        )
+        edges.append({"from": artifact_id, "to": table_id})
+
+    return {"root": artifact_id, "nodes": nodes, "edges": edges}
